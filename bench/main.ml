@@ -1,0 +1,273 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (the reproduction
+   harness - same reports as `stratify_experiments all`).  Part 2 times the
+   computational kernel behind each table/figure with Bechamel, one
+   Test.make per experiment.
+
+   Environment knobs:
+     BENCH_SCALE=0.2     shrink the regeneration workloads (default 1.0)
+     BENCH_SKIP_REGEN=1  run only the micro-benchmarks. *)
+
+open Bechamel
+
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+module Profile = Stratify_bandwidth.Profile
+module Saroiu = Stratify_bandwidth.Saroiu
+module Bt = Stratify_bittorrent
+module E = Stratify_cli.Experiments
+open Stratify_core
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate every table and figure                           *)
+
+let regenerate () =
+  let scale =
+    match Sys.getenv_opt "BENCH_SCALE" with
+    | Some s -> (try Float.min 1. (Float.max 0.01 (float_of_string s)) with _ -> 1.)
+    | None -> 1.
+  in
+  let ctx = { E.seed = 42; scale; csv_dir = None } in
+  Printf.printf "Regenerating all tables and figures (scale %g)\n%!" scale;
+  List.iter
+    (fun (_, _, f) ->
+      f ctx;
+      print_newline ())
+    E.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: one Bechamel kernel per table/figure                        *)
+
+let make_er_instance ~n ~d ~b seed =
+  let rng = Rng.create seed in
+  let graph = Gen.gnd rng ~n ~d in
+  Instance.create ~graph ~b:(Array.make n b) ()
+
+let bench_fig1 =
+  (* Kernel of Figs 1-3: one best-mate initiative step. *)
+  let inst = make_er_instance ~n:1000 ~d:10. ~b:1 1 in
+  let rng = Rng.create 2 in
+  let sim = Sim.create inst rng in
+  Test.make ~name:"fig1-3: initiative step (n=1000,d=10)"
+    (Staged.stage (fun () -> ignore (Sim.step sim)))
+
+let bench_stable_config =
+  (* Kernel of Fig 2's instant-stable recomputation. *)
+  let inst = make_er_instance ~n:1000 ~d:10. ~b:1 3 in
+  Test.make ~name:"fig2: Algorithm 1 (n=1000,d=10)"
+    (Staged.stage (fun () -> ignore (Greedy.stable_config inst)))
+
+let bench_disorder =
+  let inst = make_er_instance ~n:1000 ~d:10. ~b:1 4 in
+  let stable = Greedy.stable_config inst in
+  let empty = Config.empty inst in
+  Test.make ~name:"fig3: disorder metric (n=1000)"
+    (Staged.stage (fun () -> ignore (Disorder.distance empty stable)))
+
+let bench_complete =
+  (* Kernel of Fig 4/5 and Table 1: fast greedy on the complete graph. *)
+  let b = Normal_b.constant ~n:10_000 ~b0:6 in
+  Test.make ~name:"fig4-5/table1: complete-graph matching (n=10000,b0=6)"
+    (Staged.stage (fun () -> ignore (Greedy.stable_complete ~b)))
+
+let bench_phase =
+  (* Kernel of Fig 6: one sigma measurement. *)
+  let rng = Rng.create 5 in
+  Test.make ~name:"fig6: phase point (n=5000,b=6,sigma=0.2)"
+    (Staged.stage (fun () ->
+         ignore (Phase.measure rng ~n:5000 ~mean_b:6. ~sigma:0.2 ~replicates:1)))
+
+let bench_exact =
+  Test.make ~name:"fig7: exact enumeration (n=5,b0=2)"
+    (Staged.stage (fun () -> ignore (Exact_small.mate_matrix ~n:5 ~p:0.3 ~b0:2)))
+
+let bench_one_matching =
+  Test.make ~name:"fig8: Algorithm 2 sweep (n=2000)"
+    (Staged.stage (fun () -> One_matching.sweep ~n:2000 ~p:0.005 ~f:(fun _ _ _ -> ())))
+
+let bench_monte_carlo =
+  (* Kernel of Fig 9: one Monte-Carlo realization. *)
+  let rng = Rng.create 6 in
+  Test.make ~name:"fig9: one G(n,p) stable 2-matching (n=2000,p=1%)"
+    (Staged.stage (fun () ->
+         let adj = Gen.gnp_adjacency rng ~n:2000 ~p:0.01 in
+         let inst = Instance.of_adjacency ~adj ~b:(Array.make 2000 2) () in
+         ignore (Greedy.stable_config inst)))
+
+let bench_b_matching =
+  Test.make ~name:"fig9/11: Algorithm 3 sweep (n=1000,b0=3)"
+    (Staged.stage (fun () -> B_matching.sweep ~n:1000 ~p:0.02 ~b0:3 ~f:(fun _ _ _ _ -> ())))
+
+let bench_profile =
+  let rng = Rng.create 7 in
+  Test.make ~name:"fig10: bandwidth profile sampling (x1000)"
+    (Staged.stage (fun () ->
+         for _ = 1 to 1000 do
+           ignore (Profile.sample Saroiu.profile rng)
+         done))
+
+let bench_share_ratio =
+  Test.make ~name:"fig11: share-ratio model (n=500,b0=3,d=20)"
+    (Staged.stage (fun () ->
+         ignore
+           (Share_ratio.compute { Share_ratio.n = 500; b0 = 3; d = 20.; profile = Saroiu.profile })))
+
+let bench_slots =
+  Test.make ~name:"slots: rational-peer sweep (n=300)"
+    (Staged.stage (fun () ->
+         ignore
+           (Share_ratio.sweep_slots ~n:300 ~d:20. ~profile:Saroiu.profile ~my_upload:500.
+              ~slots:[| 1; 3 |] ())))
+
+let bench_swarm =
+  let rng = Rng.create 8 in
+  let uploads = Profile.rank_bandwidths Saroiu.profile ~n:300 in
+  let swarm = Bt.Swarm.create rng (Bt.Swarm.default_params ~uploads) in
+  Test.make ~name:"swarm: one simulator tick (n=300)"
+    (Staged.stage (fun () -> Bt.Swarm.step swarm))
+
+let bench_roommates =
+  let rng = Rng.create 9 in
+  let prefs =
+    Array.init 100 (fun p ->
+        let row = Array.init 100 (fun i -> i) in
+        Stratify_prng.Dist.shuffle rng row;
+        Array.of_list (List.filter (fun q -> q <> p) (Array.to_list row)))
+  in
+  let sys = Tan.of_lists prefs in
+  Test.make ~name:"substrate: Irving stable roommates (n=100)"
+    (Staged.stage (fun () -> ignore (Roommates.solve sys)))
+
+let bench_gale_shapley =
+  let rng = Rng.create 10 in
+  let mk () =
+    Array.init 200 (fun _ ->
+        let row = Array.init 200 (fun i -> i) in
+        Stratify_prng.Dist.shuffle rng row;
+        row)
+  in
+  let men = mk () and women = mk () in
+  Test.make ~name:"substrate: Gale-Shapley (n=200)"
+    (Staged.stage (fun () -> ignore (Gale_shapley.run ~proposer_prefs:men ~receiver_prefs:women)))
+
+let bench_symmetric =
+  let rng = Rng.create 11 in
+  let positions = Stratify_graph.Spatial.random_positions rng ~n:200 in
+  let u = Stratify_core.Utility.symmetric_distance (Stratify_graph.Spatial.distance positions) in
+  let acceptance = Stratify_graph.Undirected.adjacency_arrays (Gen.complete 200) in
+  let g = General_matching.create ~utility:u ~acceptance ~b:(Array.make 200 2) in
+  Test.make ~name:"latency: symmetric greedy matching (n=200, complete)"
+    (Staged.stage (fun () -> ignore (Symmetric_greedy.stable_state g ~utility:u)))
+
+let bench_gossip =
+  let rng = Rng.create 12 in
+  let g = Gossip.create rng ~n:500 ~view_size:10 in
+  Test.make ~name:"gossip: one round (n=500, view 10)"
+    (Staged.stage (fun () -> Gossip.round g))
+
+let bench_hospital_residents =
+  let rng = Rng.create 13 in
+  let n_res = 200 and n_hosp = 20 in
+  let resident_prefs =
+    Array.init n_res (fun _ ->
+        let row = Array.init n_hosp (fun h -> h) in
+        Stratify_prng.Dist.shuffle rng row;
+        row)
+  in
+  let hospital_prefs =
+    Array.init n_hosp (fun _ ->
+        let row = Array.init n_res (fun r -> r) in
+        Stratify_prng.Dist.shuffle rng row;
+        row)
+  in
+  let inst =
+    { Hospital_residents.resident_prefs; hospital_prefs; capacity = Array.make n_hosp 10 }
+  in
+  Test.make ~name:"substrate: hospitals/residents (200x20, cap 10)"
+    (Staged.stage (fun () -> ignore (Hospital_residents.solve inst)))
+
+let bench_piece_tick =
+  let rng = Rng.create 14 in
+  let uploads = Array.make 200 16. in
+  let params =
+    {
+      (Bt.Swarm.default_params ~uploads) with
+      Bt.Swarm.d = 15.;
+      piece = Some { Bt.Swarm.pieces = 400; piece_size = 8.; init_fraction = 0.5; seeds = 2 };
+    }
+  in
+  let swarm = Bt.Swarm.create rng params in
+  Test.make ~name:"flashcrowd: piece-mode swarm tick (n=200, 400 pieces)"
+    (Staged.stage (fun () -> Bt.Swarm.step swarm))
+
+let bench_streaming =
+  let rng = Rng.create 15 in
+  let b = Normal_b.rounded_normal rng ~n:2000 ~mean:8. ~sigma:0.5 in
+  let adjacency = Cluster.collaboration_graph ~b in
+  Test.make ~name:"streaming: delay measurement (n=2000)"
+    (Staged.stage (fun () -> ignore (Streaming.measure ~adjacency ~sources:[ 0 ])))
+
+let bench_edonkey =
+  let rng = Rng.create 16 in
+  let uploads = Profile.rank_bandwidths Saroiu.profile ~n:200 in
+  let sim = Stratify_edonkey.Queue_sim.create rng (Stratify_edonkey.Queue_sim.default_params ~uploads) in
+  Test.make ~name:"edonkey: one credit-queue tick (n=200)"
+    (Staged.stage (fun () -> Stratify_edonkey.Queue_sim.step sim))
+
+let bench_async =
+  let rng = Rng.create 17 in
+  let graph = Gen.gnd rng ~n:300 ~d:10. in
+  let inst = Instance.create ~graph ~b:(Array.make 300 1) () in
+  let a = Async_dynamics.create inst rng { Async_dynamics.latency = 0.1; initiative_rate = 1.; loss = 0. } in
+  Test.make ~name:"async: 1 time unit of the message protocol (n=300)"
+    (Staged.stage (fun () -> Async_dynamics.run a ~horizon:1.))
+
+let tests =
+  [
+    bench_fig1;
+    bench_stable_config;
+    bench_disorder;
+    bench_complete;
+    bench_phase;
+    bench_exact;
+    bench_one_matching;
+    bench_monte_carlo;
+    bench_b_matching;
+    bench_profile;
+    bench_share_ratio;
+    bench_slots;
+    bench_swarm;
+    bench_roommates;
+    bench_gale_shapley;
+    bench_symmetric;
+    bench_gossip;
+    bench_hospital_residents;
+    bench_piece_tick;
+    bench_streaming;
+    bench_edonkey;
+    bench_async;
+  ]
+
+let run_benchmarks () =
+  print_endline "\n================ Bechamel micro-benchmarks ================";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] ->
+              if ns > 1e6 then Printf.printf "  %-55s %10.3f ms/run\n%!" name (ns /. 1e6)
+              else Printf.printf "  %-55s %10.1f ns/run\n%!" name ns
+          | _ -> Printf.printf "  %-55s (no estimate)\n%!" name)
+        analysis)
+    tests
+
+let () =
+  if Sys.getenv_opt "BENCH_SKIP_REGEN" = None then regenerate ();
+  run_benchmarks ()

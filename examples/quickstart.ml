@@ -1,0 +1,49 @@
+(* Quickstart: build a global-ranking b-matching instance, compute its
+   unique stable configuration, and watch decentralised initiatives find
+   the same configuration on their own.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+open Stratify_core
+
+let () =
+  let rng = Rng.create 2024 in
+
+  (* 1. An instance: 12 peers, Erdős–Rényi acceptance graph with expected
+     degree 6, everyone ranked by an intrinsic score, 2 slots each. *)
+  let n = 12 in
+  let graph = Gen.gnd rng ~n ~d:6. in
+  let scores = Array.init n (fun i -> 100. -. float_of_int i +. (0.001 *. float_of_int i)) in
+  let ranking = Ranking.of_scores scores in
+  let inst = Instance.create ~ranking ~graph ~b:(Array.make n 2) () in
+  Printf.printf "Instance: %d peers, %d acceptance edges, %d slots total\n" (Instance.n inst)
+    (Array.fold_left (fun acc p -> acc + Instance.degree inst p) 0 (Array.init n (fun i -> i)) / 2)
+    (Instance.slot_total inst);
+
+  (* 2. Algorithm 1: the unique stable configuration. *)
+  let stable = Greedy.stable_config inst in
+  Printf.printf "\nStable configuration (Algorithm 1):\n";
+  Config.iter_pairs (fun p q -> Printf.printf "  peer %2d <-> peer %2d\n" p q) stable;
+  Printf.printf "stable: %b, collaborations: %d\n" (Blocking.is_stable stable)
+    (Config.edge_count stable);
+
+  (* 3. Decentralised dynamics: random best-mate initiatives reach the
+     same configuration (Theorem 1). *)
+  let sim = Sim.create inst rng in
+  (match Sim.run_until_stable sim ~stable ~max_units:100 with
+  | Some steps ->
+      Printf.printf "\nInitiative dynamics reached the stable configuration after %d initiatives\n"
+        steps;
+      Printf.printf "(%d of them active; Theorem 1's optimal schedule needs B/2 = %d)\n"
+        (Sim.active_count sim)
+        (Instance.slot_total inst / 2)
+  | None -> Printf.printf "\nDid not converge (should not happen!)\n");
+  Printf.printf "same configuration as Algorithm 1: %b\n"
+    (Config.equal (Sim.config sim) stable);
+
+  (* 4. Who collaborates with whom? Stratification in one line. *)
+  let adj = Config.to_adjacency stable in
+  Printf.printf "\nMean max rank offset (MMO): %.2f  (complete-graph closed form: %.2f)\n"
+    (Mmo.of_adjacency adj) (Mmo.closed_form 2)

@@ -1,0 +1,88 @@
+module Rng = Stratify_prng.Rng
+module Series = Stratify_stats.Series
+
+type t = { bw : float array; frac : float array }
+
+let of_points points =
+  let k = Array.length points in
+  if k < 2 then invalid_arg "Profile.of_points: need at least two control points";
+  let bw = Array.map fst points and frac = Array.map snd points in
+  for i = 0 to k - 1 do
+    if bw.(i) <= 0. then invalid_arg "Profile.of_points: bandwidths must be positive";
+    if i > 0 && bw.(i) <= bw.(i - 1) then
+      invalid_arg "Profile.of_points: bandwidths must be strictly increasing";
+    if i > 0 && frac.(i) < frac.(i - 1) then
+      invalid_arg "Profile.of_points: fractions must be non-decreasing"
+  done;
+  if frac.(0) <> 0. || frac.(k - 1) <> 1. then
+    invalid_arg "Profile.of_points: fractions must run from 0 to 1";
+  { bw; frac }
+
+let support t = (t.bw.(0), t.bw.(Array.length t.bw - 1))
+
+(* Largest index i with key.(i) <= x, assuming key.(0) <= x. *)
+let locate key x =
+  let lo = ref 0 and hi = ref (Array.length key - 1) in
+  if key.(!hi) <= x then !hi
+  else begin
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if key.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let cdf t x =
+  let k = Array.length t.bw in
+  if x <= t.bw.(0) then 0.
+  else if x >= t.bw.(k - 1) then 1.
+  else begin
+    let i = locate t.bw x in
+    let lx = log x and l0 = log t.bw.(i) and l1 = log t.bw.(i + 1) in
+    t.frac.(i) +. ((lx -. l0) /. (l1 -. l0) *. (t.frac.(i + 1) -. t.frac.(i)))
+  end
+
+let quantile t u =
+  let u = Float.max 0. (Float.min 1. u) in
+  let k = Array.length t.frac in
+  if u <= 0. then t.bw.(0)
+  else if u >= 1. then t.bw.(k - 1)
+  else begin
+    let i = ref (locate t.frac u) in
+    (* Skip zero-width (flat) segments so interpolation is well-defined. *)
+    while !i < k - 1 && t.frac.(!i + 1) = t.frac.(!i) do
+      incr i
+    done;
+    if !i >= k - 1 then t.bw.(k - 1)
+    else begin
+      let f0 = t.frac.(!i) and f1 = t.frac.(!i + 1) in
+      let l0 = log t.bw.(!i) and l1 = log t.bw.(!i + 1) in
+      exp (l0 +. ((u -. f0) /. (f1 -. f0) *. (l1 -. l0)))
+    end
+  end
+
+let density t x =
+  let k = Array.length t.bw in
+  if x <= t.bw.(0) || x >= t.bw.(k - 1) then 0.
+  else begin
+    let i = locate t.bw x in
+    let dlog = log t.bw.(i + 1) -. log t.bw.(i) in
+    (t.frac.(i + 1) -. t.frac.(i)) /. dlog /. x
+  end
+
+let sample t rng = quantile t (Rng.unit_float rng)
+
+let rank_bandwidths t ~n =
+  if n <= 0 then invalid_arg "Profile.rank_bandwidths: need n > 0";
+  Array.init n (fun r -> quantile t (1. -. ((float_of_int r +. 0.5) /. float_of_int n)))
+
+let to_series t ~points =
+  if points < 2 then invalid_arg "Profile.to_series: need at least two points";
+  let lo, hi = support t in
+  let llo = log lo and lhi = log hi in
+  let samples =
+    Array.init points (fun i ->
+        let x = exp (llo +. (float_of_int i /. float_of_int (points - 1) *. (lhi -. llo))) in
+        (x, 100. *. cdf t x))
+  in
+  Series.make "upstream CDF (%)" samples

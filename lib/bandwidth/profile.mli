@@ -1,0 +1,37 @@
+(** Upstream-capacity distributions as piecewise log-linear CDFs.
+
+    Measured access-link distributions (Fig 10 of the paper, after Saroiu
+    et al. 2002) span four decades and are naturally described by control
+    points [(bandwidth, cumulative fraction)] interpolated linearly in
+    log-bandwidth.  Steep segments are {e density peaks} — the popular
+    access technologies that drive the share-ratio structure of Fig 11. *)
+
+type t
+
+val of_points : (float * float) array -> t
+(** Control points: bandwidths strictly increasing and positive, fractions
+    non-decreasing from 0 to 1.  Raises [Invalid_argument] otherwise. *)
+
+val support : t -> float * float
+(** Smallest and largest representable bandwidth. *)
+
+val cdf : t -> float -> float
+(** Fraction of hosts with upstream ≤ the given bandwidth (clamped outside
+    the support). *)
+
+val quantile : t -> float -> float
+(** Inverse CDF for [u ∈ \[0,1\]]; log-linear interpolation. *)
+
+val density : t -> float -> float
+(** dF/dx at a bandwidth (piecewise value; 0 outside the support). *)
+
+val sample : t -> Stratify_prng.Rng.t -> float
+(** Inverse-transform sampling. *)
+
+val rank_bandwidths : t -> n:int -> float array
+(** Discretise the population into [n] rank slots, best first:
+    [out.(r) = quantile (1 − (r + ½)/n)].  This is the bandwidth → global
+    ranking bridge of §6. *)
+
+val to_series : t -> points:int -> Stratify_stats.Series.t
+(** CDF sampled at log-spaced abscissae, as percentages (Fig 10's axes). *)

@@ -1,0 +1,47 @@
+(* Control points (kbps, cumulative fraction).  Steep segments encode the
+   density peaks of 2002-era access technologies; the overall envelope
+   follows Fig 10 of the paper: ~20% of hosts below 100 kbps, ~70% below
+   1 Mbps, a long tail to 100 Mbps. *)
+let control_points =
+  [|
+    (10., 0.00);
+    (48., 0.03);
+    (53., 0.04);
+    (58., 0.13);   (* 56k modem peak *)
+    (64., 0.14);
+    (118., 0.17);
+    (124., 0.18);
+    (134., 0.29);  (* ISDN / 128k DSL peak *)
+    (145., 0.30);
+    (240., 0.33);
+    (250., 0.34);
+    (264., 0.45);  (* 256k DSL peak *)
+    (285., 0.46);
+    (600., 0.51);
+    (620., 0.52);
+    (665., 0.63);  (* 640k DSL peak *)
+    (720., 0.64);
+    (1040., 0.67);
+    (1080., 0.68);
+    (1160., 0.79); (* ~1 Mbps cable peak *)
+    (1250., 0.80);
+    (2850., 0.835);
+    (2950., 0.84);
+    (3150., 0.90); (* 3 Mbps cable peak *)
+    (3400., 0.905);
+    (9600., 0.925);
+    (9900., 0.93);
+    (10600., 0.965); (* 10 Mbps LAN peak *)
+    (11400., 0.967);
+    (43000., 0.974);
+    (44300., 0.975);
+    (46000., 0.99); (* T3 peak *)
+    (49000., 0.992);
+    (100000., 1.00);
+  |]
+
+let profile = Profile.of_points control_points
+
+let density_peaks = [| 56.; 129.; 257.; 650.; 1120.; 3050.; 10250.; 45000. |]
+
+let median_upstream = Profile.quantile profile 0.5

@@ -1,0 +1,20 @@
+(** A synthetic upstream-capacity profile calibrated to Fig 10 of the
+    paper (itself derived from Saroiu, Gummadi & Gribble's 2002 Gnutella
+    measurement).
+
+    The original dataset is not available; this instance reproduces the
+    {e shape} that drives §6's analysis — a four-decade span (10 kbps to
+    100 Mbps) with density peaks at the access technologies of the era:
+    56k modems, ISDN/DSL 128–640 kbps, ~1–3 Mbps cable, 10 Mbps LAN and
+    T3.  See DESIGN.md §2 for the substitution rationale. *)
+
+val profile : Profile.t
+(** The calibrated CDF (bandwidths in kbps). *)
+
+val density_peaks : float array
+(** Centre bandwidths (kbps) of the profile's density peaks, increasing —
+    the abscissae near which Fig 11 predicts share ratios ≈ 1 and just
+    above which it predicts efficiency peaks. *)
+
+val median_upstream : float
+(** Median upstream in kbps (diagnostic). *)

@@ -1,0 +1,42 @@
+module Rng = Stratify_prng.Rng
+
+type decision = { unchoked : int list; optimistic : int option }
+
+let rechoke ?rng ~rates ~slots ~current_optimistic () =
+  (* Ties — typically many neighbours with rate 0 — are broken randomly
+     when an [rng] is supplied (a real client has no reason to prefer low
+     peer ids), deterministically by id otherwise. *)
+  let tagged =
+    match rng with
+    | None -> List.map (fun (id, r) -> (id, r, id)) rates
+    | Some rng -> List.map (fun (id, r) -> (id, r, Rng.bits30 rng)) rates
+  in
+  let ranked =
+    List.map
+      (fun (id, _, _) -> (id, List.assoc id rates))
+      (List.sort
+         (fun (_, r1, t1) (_, r2, t2) ->
+           let c = compare r2 r1 in
+           if c <> 0 then c else compare t1 t2)
+         tagged)
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | (id, _) :: rest -> id :: take (k - 1) rest
+  in
+  let unchoked = take (max 0 slots) ranked in
+  let optimistic =
+    match current_optimistic with
+    | Some o when List.mem_assoc o rates && not (List.mem o unchoked) -> Some o
+    | _ -> None
+  in
+  { unchoked; optimistic }
+
+let rotate_optimistic rng ~candidates ~exclude =
+  let eligible = List.filter (fun c -> not (List.mem c exclude)) candidates in
+  match eligible with
+  | [] -> None
+  | _ ->
+      let arr = Array.of_list eligible in
+      Some arr.(Rng.int rng (Array.length arr))

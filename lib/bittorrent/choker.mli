@@ -1,0 +1,27 @@
+(** TFT unchoke selection.
+
+    Every rechoke period a peer unchokes the [slots] interested neighbours
+    from which it downloaded fastest over the estimation window, plus one
+    {e optimistic} unchoke rotated periodically among the remaining
+    interested neighbours — the exploration move that lets new
+    reciprocation relationships form (it plays the role of the "random
+    initiative" of §3 of the paper). *)
+
+type decision = { unchoked : int list; optimistic : int option }
+
+val rechoke :
+  ?rng:Stratify_prng.Rng.t ->
+  rates:(int * float) list ->
+  slots:int ->
+  current_optimistic:int option ->
+  unit ->
+  decision
+(** Pick the top-[slots] neighbours by received rate; ties break uniformly
+    at random when [rng] is given (by neighbour id otherwise).  The
+    current optimistic neighbour is kept if still valid and not already a
+    TFT winner. *)
+
+val rotate_optimistic :
+  Stratify_prng.Rng.t -> candidates:int list -> exclude:int list -> int option
+(** Choose a new optimistic unchoke uniformly among [candidates] not in
+    [exclude] ([None] if no candidate remains). *)

@@ -1,0 +1,57 @@
+type t = {
+  id : int;
+  upload_capacity : float;
+  slots : int;
+  neighbors : int array;
+  link_rates : (int, Rate.t) Hashtbl.t;
+  mutable unchoked : int list;
+  mutable optimistic : int option;
+  mutable uploaded : float;
+  mutable downloaded : float;
+  mutable uploaded_tft : float;
+  mutable downloaded_tft : float;
+  field : Piece.t option;
+}
+
+let create ~id ~upload_capacity ~slots ~neighbors ~rate_window ~field =
+  let link_rates = Hashtbl.create (max 8 (Array.length neighbors)) in
+  Array.iter (fun q -> Hashtbl.replace link_rates q (Rate.create ~window:rate_window)) neighbors;
+  {
+    id;
+    upload_capacity;
+    slots;
+    neighbors;
+    link_rates;
+    unchoked = [];
+    optimistic = None;
+    uploaded = 0.;
+    downloaded = 0.;
+    uploaded_tft = 0.;
+    downloaded_tft = 0.;
+    field;
+  }
+
+let observed_rate t ~from_ ~tick =
+  match Hashtbl.find_opt t.link_rates from_ with
+  | Some r -> Rate.rate r ~tick
+  | None -> 0.
+
+let record_download t ~from_ ~tick amount =
+  t.downloaded <- t.downloaded +. amount;
+  match Hashtbl.find_opt t.link_rates from_ with
+  | Some r -> Rate.record r ~tick amount
+  | None ->
+      let r = Rate.create ~window:10 in
+      Rate.record r ~tick amount;
+      Hashtbl.replace t.link_rates from_ r
+
+let active_targets t =
+  match t.optimistic with
+  | Some o when not (List.mem o t.unchoked) -> o :: t.unchoked
+  | _ -> t.unchoked
+
+let reset_counters t =
+  t.uploaded <- 0.;
+  t.downloaded <- 0.;
+  t.uploaded_tft <- 0.;
+  t.downloaded_tft <- 0.

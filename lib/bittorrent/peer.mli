@@ -1,0 +1,37 @@
+(** Per-peer state of the swarm simulator. *)
+
+type t = {
+  id : int;
+  upload_capacity : float;  (** data units per tick it can send *)
+  slots : int;  (** TFT unchoke slots (excludes the optimistic slot) *)
+  neighbors : int array;  (** acceptance list (knowledge graph) *)
+  link_rates : (int, Rate.t) Hashtbl.t;
+      (** download-rate estimator per neighbour, keyed by sender id *)
+  mutable unchoked : int list;  (** current TFT unchokes *)
+  mutable optimistic : int option;
+  mutable uploaded : float;
+  mutable downloaded : float;
+  mutable uploaded_tft : float;  (** portion of [uploaded] sent on TFT slots *)
+  mutable downloaded_tft : float;  (** portion of [downloaded] received on senders' TFT slots *)
+  field : Piece.t option;  (** piece bitfield (piece mode only) *)
+}
+
+val create :
+  id:int ->
+  upload_capacity:float ->
+  slots:int ->
+  neighbors:int array ->
+  rate_window:int ->
+  field:Piece.t option ->
+  t
+
+val observed_rate : t -> from_:int -> tick:int -> float
+(** Download rate recently observed from a neighbour. *)
+
+val record_download : t -> from_:int -> tick:int -> float -> unit
+
+val active_targets : t -> int list
+(** Current upload targets: TFT unchokes plus the optimistic one. *)
+
+val reset_counters : t -> unit
+(** Zero the cumulative upload/download counters (end of warm-up). *)

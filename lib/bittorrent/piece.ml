@@ -1,0 +1,72 @@
+module Rng = Stratify_prng.Rng
+
+type t = { bits : Bytes.t; pieces : int; mutable held : int }
+
+let create ~pieces =
+  if pieces <= 0 then invalid_arg "Piece.create: need at least one piece";
+  { bits = Bytes.make ((pieces + 7) / 8) '\000'; pieces; held = 0 }
+
+let pieces t = t.pieces
+
+let has t i =
+  if i < 0 || i >= t.pieces then invalid_arg "Piece.has: piece out of range";
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let count t = t.held
+let is_complete t = t.held = t.pieces
+
+let add t i =
+  if has t i then false
+  else begin
+    let byte = i lsr 3 in
+    Bytes.set t.bits byte (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i land 7))));
+    t.held <- t.held + 1;
+    true
+  end
+
+let random_fill t rng ~fraction =
+  for i = 0 to t.pieces - 1 do
+    if (not (has t i)) && Rng.bernoulli rng fraction then ignore (add t i)
+  done
+
+let fill_all t =
+  for i = 0 to t.pieces - 1 do
+    ignore (add t i)
+  done
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.held <- 0
+
+let iter_held t f =
+  for i = 0 to t.pieces - 1 do
+    if has t i then f i
+  done
+
+module Availability = struct
+  type counts = int array
+
+  let create ~pieces = Array.make pieces 0
+  let on_add counts i = counts.(i) <- counts.(i) + 1
+  let on_remove counts i = counts.(i) <- counts.(i) - 1
+
+  let of_swarm ~pieces fields =
+    let counts = create ~pieces in
+    Array.iter
+      (fun field ->
+        for i = 0 to pieces - 1 do
+          if has field i then on_add counts i
+        done)
+      fields;
+    counts
+
+  let rarest_wanted counts ~have ~from_ =
+    let best = ref (-1) and best_avail = ref max_int in
+    for i = 0 to Array.length counts - 1 do
+      if has from_ i && (not (has have i)) && counts.(i) < !best_avail then begin
+        best := i;
+        best_avail := counts.(i)
+      end
+    done;
+    if !best < 0 then None else Some !best
+end

@@ -1,0 +1,29 @@
+type t = {
+  window : int;
+  buckets : float array;  (* buckets.(tick mod window) *)
+  stamps : int array;  (* which tick each bucket currently holds *)
+  mutable total : float;
+}
+
+let create ~window =
+  if window <= 0 then invalid_arg "Rate.create: window must be positive";
+  { window; buckets = Array.make window 0.; stamps = Array.make window (-1); total = 0. }
+
+let record t ~tick amount =
+  let slot = tick mod t.window in
+  if t.stamps.(slot) <> tick then begin
+    t.buckets.(slot) <- 0.;
+    t.stamps.(slot) <- tick
+  end;
+  t.buckets.(slot) <- t.buckets.(slot) +. amount;
+  t.total <- t.total +. amount
+
+let rate t ~tick =
+  let acc = ref 0. in
+  for slot = 0 to t.window - 1 do
+    let stamp = t.stamps.(slot) in
+    if stamp >= 0 && tick - stamp < t.window && stamp <= tick then acc := !acc +. t.buckets.(slot)
+  done;
+  !acc /. float_of_int t.window
+
+let total t = t.total

@@ -1,0 +1,21 @@
+(** Sliding-window transfer-rate estimation.
+
+    BitTorrent's Tit-for-Tat ranks neighbours by the download rate observed
+    "in the last 10 seconds"; this module is that estimator: a circular
+    per-tick byte counter over a fixed window. *)
+
+type t
+
+val create : window:int -> t
+(** [create ~window] observes the last [window] ticks. *)
+
+val record : t -> tick:int -> float -> unit
+(** Credit an amount of data transferred during [tick].  Ticks must be
+    supplied non-decreasingly. *)
+
+val rate : t -> tick:int -> float
+(** Average per-tick rate over the window ending at [tick] (exclusive of
+    ticks older than the window). *)
+
+val total : t -> float
+(** All data ever recorded. *)

@@ -1,0 +1,49 @@
+(** Canned swarm scenarios.
+
+    The paper analyses the {e post}-flash-crowd regime; these scenarios
+    simulate the flash crowd itself (one seed, empty leechers, rarest
+    first) so that the regime boundary — when availability stops being the
+    bottleneck and bandwidth stratification takes over — can be observed
+    rather than assumed. *)
+
+type flash_result = {
+  completion_ticks : int option array;
+      (** first tick at which each peer held the full file *)
+  completed_curve : Stratify_stats.Series.t;  (** (tick, #completed) *)
+  swarm : Swarm.t;  (** final state, for further measurement *)
+}
+
+val flash_crowd :
+  Stratify_prng.Rng.t ->
+  uploads:float array ->
+  pieces:int ->
+  piece_size:float ->
+  d:float ->
+  max_ticks:int ->
+  flash_result
+(** Peer 0 is the seed (starts complete); everyone else starts empty.
+    Runs until everyone completes or [max_ticks] elapse. *)
+
+val completion_capacity_correlation : flash_result -> uploads:float array -> float
+(** Spearman correlation between upload capacity and completion time over
+    completed leechers — stratification predicts it strongly negative
+    (fast peers finish first). *)
+
+type churn_report = {
+  departures : int;  (** completed peers recycled during measurement *)
+  mean_time_in_system : float;  (** ticks from (re)arrival to completion *)
+  swarm_throughput : float;  (** total data moved per tick during measurement *)
+}
+
+val steady_churn :
+  Stratify_prng.Rng.t ->
+  uploads:float array ->
+  pieces:int ->
+  piece_size:float ->
+  d:float ->
+  warmup:int ->
+  measure:int ->
+  churn_report
+(** The real BitTorrent lifecycle: peers leave on completion and fresh
+    peers take their place (peer 0 stays as a seed).  After [warmup]
+    ticks the next [measure] ticks are measured. *)

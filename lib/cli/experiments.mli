@@ -1,0 +1,103 @@
+(** One regeneration function per table/figure of the paper.
+
+    Every function prints a human-readable report (tables, ASCII plots,
+    paper-vs-measured notes) and, when [csv_dir] is given, writes the raw
+    data as CSV.  [scale] shrinks the workload for smoke runs: 1.0 is
+    paper scale, 0.1 divides population sizes / replicate counts by ~10.
+
+    The registry at the bottom drives both the [stratify_experiments]
+    binary and the benchmark harness. *)
+
+type context = { seed : int; scale : float; csv_dir : string option }
+
+val default_context : context
+
+val fig1 : context -> unit
+(** Convergence from the empty configuration, (n,d) ∈
+    {(100,50),(1000,10),(1000,50)}. *)
+
+val fig2 : context -> unit
+(** Disorder after removing peer 1/100/300/600 from the stable state. *)
+
+val fig3 : context -> unit
+(** Disorder under continuous churn at rates 30/10/3/0.5/0 per 1000. *)
+
+val fig4 : context -> unit
+(** Constant b0-matching clustering on the complete graph. *)
+
+val fig5 : context -> unit
+(** One extra slot reconnects the clusters. *)
+
+val table1 : context -> unit
+(** Average cluster size and MMO, constant vs N(b̄, 0.2²) budgets. *)
+
+val fig6 : context -> unit
+(** σ phase transition at b̄ = 6. *)
+
+val fig7 : context -> unit
+(** Exact vs Algorithm-2 probabilities on 3 peers. *)
+
+val fig8 : context -> unit
+(** Mate-rank distributions for peers 200/2500/4800, n = 5000. *)
+
+val fig9 : context -> unit
+(** Monte-Carlo validation of Algorithm 3 (2-matching, peer 3000). *)
+
+val fig10 : context -> unit
+(** Upstream-capacity CDF. *)
+
+val fig11 : context -> unit
+(** Expected download/upload ratio vs upload per slot. *)
+
+val slots_ablation : context -> unit
+(** §6 discussion: a rational peer's slot-count sweep and the 4-slot
+    trade-off (not a numbered figure in the paper). *)
+
+val swarm_validation : context -> unit
+(** End-to-end cross-check: the TFT swarm simulator vs the analytic
+    share-ratio model (extension experiment). *)
+
+val strategies_ablation : context -> unit
+(** §3's three initiative strategies compared: time and active-initiative
+    cost to stability. *)
+
+val scaling : context -> unit
+(** Empirical convergence-speed scaling law in n and d (the proof the
+    paper leaves open, measured). *)
+
+val alpha_fluid : context -> unit
+(** Mate-offset distributions across relative ranks: §5.3's
+    shift-invariance ("finite horizon") statement. *)
+
+val latency : context -> unit
+(** §7's utility-class contrast: global ranking vs symmetric latency, and
+    the convergence cost of blending them. *)
+
+val gossip_experiment : context -> unit
+(** Stable matching on gossip-maintained acceptance views (reference [8]
+    of the paper). *)
+
+val flashcrowd : context -> unit
+(** Flash-crowd completion dynamics — the phase before §6's
+    post-flash-crowd assumption holds. *)
+
+val streaming_experiment : context -> unit
+(** §7's streaming remark measured: play-out delay of stratified vs
+    proximity vs random collaboration graphs. *)
+
+val edonkey_experiment : context -> unit
+(** §2's architectural contrast: TFT reciprocation vs eDonkey-style
+    credit queues on the same population. *)
+
+val bigslots : context -> unit
+(** §6's prescription simulated: bandwidth-scaled slot counts rescue the
+    best peers' download/upload ratio. *)
+
+val async_experiment : context -> unit
+(** The dynamics as a real message-passing protocol: convergence and
+    consistency vs message latency. *)
+
+val all : (string * string * (context -> unit)) list
+(** (name, description, run) for every experiment above. *)
+
+val find : string -> (context -> unit) option

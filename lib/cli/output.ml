@@ -1,0 +1,104 @@
+module Series = Stratify_stats.Series
+module Table = Stratify_stats.Table
+
+let section title =
+  let line = String.make (max 8 (String.length title + 4)) '=' in
+  Printf.printf "\n%s\n= %s\n%s\n" line title line
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  . %s\n" s) fmt
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let transform ~log_scale v = if log_scale then log v else v
+
+let plot ?(width = 72) ?(height = 20) ?(logx = false) ?(logy = false) ?(x_label = "x")
+    ?(y_label = "y") series_list =
+  let all_points =
+    List.concat_map (fun s -> Array.to_list s.Series.points) series_list
+  in
+  let usable (x, y) =
+    Float.is_finite x && Float.is_finite y && ((not logx) || x > 0.) && ((not logy) || y > 0.)
+  in
+  let pts = List.filter usable all_points in
+  if pts = [] then print_endline "  (nothing to plot)"
+  else begin
+    let xs = List.map (fun (x, _) -> transform ~log_scale:logx x) pts in
+    let ys = List.map (fun (_, y) -> transform ~log_scale:logy y) pts in
+    let xmin = List.fold_left Float.min infinity xs
+    and xmax = List.fold_left Float.max neg_infinity xs in
+    let ymin = List.fold_left Float.min infinity ys
+    and ymax = List.fold_left Float.max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun k s ->
+        let glyph = glyphs.(k mod Array.length glyphs) in
+        Array.iter
+          (fun (x, y) ->
+            if usable (x, y) then begin
+              let fx = (transform ~log_scale:logx x -. xmin) /. xspan in
+              let fy = (transform ~log_scale:logy y -. ymin) /. yspan in
+              let col = min (width - 1) (int_of_float (fx *. float_of_int (width - 1))) in
+              let row = height - 1 - min (height - 1) (int_of_float (fy *. float_of_int (height - 1))) in
+              grid.(row).(col) <- glyph
+            end)
+          s.Series.points)
+      series_list;
+    let y_at row =
+      let f = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      let v = ymin +. (f *. yspan) in
+      if logy then exp v else v
+    in
+    Array.iteri
+      (fun row line ->
+        if row mod 4 = 0 || row = height - 1 then
+          Printf.printf "  %10.3g | %s\n" (y_at row) (String.init width (fun c -> line.(c)))
+        else Printf.printf "  %10s | %s\n" "" (String.init width (fun c -> line.(c))))
+      grid;
+    let x_at f =
+      let v = xmin +. (f *. xspan) in
+      if logx then exp v else v
+    in
+    Printf.printf "  %10s +-%s\n" "" (String.make width '-');
+    Printf.printf "  %10s   %-20.4g%*.4g\n" "" (x_at 0.) (width - 20) (x_at 1.);
+    Printf.printf "  %10s   (%s vs %s%s%s)\n" "" y_label x_label
+      (if logx then ", log-x" else "")
+      (if logy then ", log-y" else "");
+    List.iteri
+      (fun k s ->
+        Printf.printf "  %10s   %c = %s\n" "" glyphs.(k mod Array.length glyphs) s.Series.label)
+      series_list
+  end
+
+let table t = print_string (Table.render t)
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let write_file ~dir ~name contents =
+  ensure_dir dir;
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" path
+
+let write_csv ~dir ~name t = write_file ~dir ~name (Table.to_csv t)
+
+let write_series_csv ~dir ~name series_list =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "label,x,y";
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "\n%s,%.8g,%.8g" s.Series.label x y))
+        s.Series.points)
+    series_list;
+  write_file ~dir ~name (Buffer.contents buf)

@@ -1,0 +1,30 @@
+(** Experiment output: ASCII plots, CSV export, section headers. *)
+
+val section : string -> unit
+(** Print a banner line for an experiment section. *)
+
+val subsection : string -> unit
+
+val note : ('a, unit, string, unit) format4 -> 'a
+(** Printf-style annotated line (prefixed with "  · "). *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  ?logy:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  Stratify_stats.Series.t list ->
+  unit
+(** Render one or more series in a shared ASCII frame, one glyph per
+    series, with a legend. *)
+
+val table : Stratify_stats.Table.t -> unit
+(** Print a rendered table. *)
+
+val write_csv : dir:string -> name:string -> Stratify_stats.Table.t -> unit
+(** Write a table as [dir/name.csv] (directory created if needed). *)
+
+val write_series_csv : dir:string -> name:string -> Stratify_stats.Series.t list -> unit
+(** Write series as a long-format CSV: label,x,y. *)

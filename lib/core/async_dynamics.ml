@@ -1,0 +1,176 @@
+module Rng = Stratify_prng.Rng
+module Dist = Stratify_prng.Dist
+module Engine = Stratify_des.Engine
+module Series = Stratify_stats.Series
+
+type params = { latency : float; initiative_rate : float; loss : float }
+
+let default_params = { latency = 0.05; initiative_rate = 1.; loss = 0. }
+
+type t = {
+  instance : Instance.t;
+  params : params;
+  rng : Rng.t;
+  engine : Engine.t;
+  mates : int list array;  (* each peer's local belief, sorted by rank *)
+  mutable live : bool;  (* initiative clocks active *)
+  mutable sent : int;
+  mutable lost : int;
+}
+
+(* ---- local mate-list operations (always keep |mates| <= b) ---------- *)
+
+let degree t p = List.length t.mates.(p)
+let listed t p q = List.mem q t.mates.(p)
+
+let insert_sorted q l =
+  let rec go = function
+    | [] -> [ q ]
+    | x :: rest as all -> if q < x then q :: all else x :: go rest
+  in
+  go l
+
+let remove t p q = t.mates.(p) <- List.filter (fun x -> x <> q) t.mates.(p)
+
+let worst t p = match t.mates.(p) with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+(* Would p welcome q right now, according to p's local state? *)
+let wants t p q =
+  (not (listed t p q))
+  &&
+  if degree t p < Instance.slots t.instance p then Instance.slots t.instance p > 0
+  else match worst t p with None -> false | Some w -> q < w
+
+(* ---- protocol ------------------------------------------------------ *)
+
+let send t handler = begin
+  t.sent <- t.sent + 1;
+  (* Lossy network: the message silently vanishes with probability
+     [loss]; the keepalive audits are what make the protocol safe under
+     loss. *)
+  if t.params.loss <= 0. || not (Rng.bernoulli t.rng t.params.loss) then
+    Engine.schedule t.engine ~delay:t.params.latency handler
+  else t.lost <- t.lost + 1
+end
+
+(* p makes room for a new mate, notifying the evicted peer. *)
+let make_room t p =
+  if degree t p >= Instance.slots t.instance p then
+    match worst t p with
+    | Some w ->
+        remove t p w;
+        send t (fun _ -> remove t w p)
+    | None -> ()
+
+let handle_commit t ~from_:p ~to_:q _engine =
+  (* q finalises: idempotent if already mutual; retract if q changed its
+     mind while the commit was in flight. *)
+  if listed t q p then ()
+  else if wants t q p then begin
+    make_room t q;
+    t.mates.(q) <- insert_sorted p t.mates.(q)
+  end
+  else send t (fun _ -> remove t p q)
+
+let handle_accept t ~from_:q ~to_:p _engine =
+  (* p re-validates on current state before committing. *)
+  if listed t p q then ()
+  else if wants t p q then begin
+    make_room t p;
+    t.mates.(p) <- insert_sorted q t.mates.(p);
+    send t (handle_commit t ~from_:p ~to_:q)
+  end
+
+let handle_propose t ~from_:p ~to_:q _engine =
+  if wants t q p then send t (handle_accept t ~from_:q ~to_:p)
+
+let initiative t p =
+  let row = Instance.acceptable t.instance p in
+  if Array.length row > 0 then begin
+    let q = row.(Rng.int t.rng (Array.length row)) in
+    (* Random strategy: propose if q looks attractive on local state. *)
+    if wants t p q then send t (handle_propose t ~from_:p ~to_:q)
+  end;
+  (* Keepalive audit: probe one current mate; stale one-sided listings
+     (races between crossing retracts and re-adds) get repaired instead of
+     squatting a slot forever. *)
+  match t.mates.(p) with
+  | [] -> ()
+  | l ->
+      let m = List.nth l (Rng.int t.rng (List.length l)) in
+      send t (fun _ ->
+          (* m answers with its state at probe time... *)
+          let mates_at_probe = listed t m p in
+          send t (fun _ ->
+              (* ...and p acts on the reply (m may have re-added since; its
+                 own audits repair the inverse ghost if so). *)
+              if (not mates_at_probe) && listed t p m then remove t p m))
+
+let rec arm_clock t p =
+  let delay = Dist.exponential t.rng ~rate:t.params.initiative_rate in
+  Engine.schedule t.engine ~delay (fun _ ->
+      if t.live then begin
+        initiative t p;
+        arm_clock t p
+      end)
+
+let create instance rng params =
+  if params.latency < 0. then invalid_arg "Async_dynamics: negative latency";
+  if params.initiative_rate <= 0. then invalid_arg "Async_dynamics: rate must be positive";
+  if params.loss < 0. || params.loss >= 1. then
+    invalid_arg "Async_dynamics: loss must be in [0,1)";
+  let t =
+    {
+      instance;
+      params;
+      rng;
+      engine = Engine.create ();
+      mates = Array.make (Instance.n instance) [];
+      live = true;
+      sent = 0;
+      lost = 0;
+    }
+  in
+  for p = 0 to Instance.n instance - 1 do
+    arm_clock t p
+  done;
+  t
+
+let time t = Engine.now t.engine
+
+let run t ~horizon = Engine.run_until t.engine ~time:(Engine.now t.engine +. horizon)
+
+let quiesce t =
+  t.live <- false;
+  Engine.drain t.engine
+
+let mutual_config t =
+  let config = Config.empty t.instance in
+  Array.iteri
+    (fun p l ->
+      List.iter (fun q -> if p < q && listed t q p && not (Config.mated config p q) then Config.connect config p q) l)
+    t.mates;
+  config
+
+let inconsistency_count t =
+  let count = ref 0 in
+  Array.iteri
+    (fun p l -> List.iter (fun q -> if not (listed t q p) then incr count) l)
+    t.mates;
+  !count
+
+let messages_sent t = t.sent
+let messages_lost t = t.lost
+
+let disorder_trajectory t ~stable ~horizon ~samples =
+  if samples < 1 then invalid_arg "Async_dynamics.disorder_trajectory: need samples >= 1";
+  let start = time t in
+  let points = ref [ (0., Disorder.disorder (mutual_config t) ~stable) ] in
+  for k = 1 to samples do
+    let target = start +. (horizon *. float_of_int k /. float_of_int samples) in
+    Engine.run_until t.engine ~time:target;
+    points := (target -. start, Disorder.disorder (mutual_config t) ~stable) :: !points
+  done;
+  Series.make
+    (Printf.sprintf "latency=%g" t.params.latency)
+    (Array.of_list (List.rev !points))

@@ -1,0 +1,57 @@
+(** Asynchronous message-passing initiative dynamics.
+
+    The paper's §3 model is asynchronous in spirit — peers act "anytime" —
+    but its simulations (and {!Sim}) are round-based with atomic rewiring.
+    This module implements the dynamics as an actual distributed protocol
+    over a discrete-event simulation: peers fire initiatives on
+    independent exponential clocks and rewire through a
+    propose/accept/commit handshake whose messages take [latency] time
+    units, so decisions are made on {e stale} state and must be
+    re-validated (with retract/drop compensation) on arrival.
+
+    Local mate lists can disagree transiently ({e inconsistency}); edges
+    both endpoints agree on form the {e mutual configuration}.  The
+    protocol is eventually consistent: once initiatives stop and messages
+    drain, mate lists are symmetric again.  The [async] experiment
+    measures how convergence degrades as latency approaches the initiative
+    period. *)
+
+type params = {
+  latency : float;  (** one-way message delay *)
+  initiative_rate : float;  (** per-peer exponential initiative rate *)
+  loss : float;  (** probability a message silently vanishes, in [0,1) *)
+}
+
+val default_params : params
+(** latency 0.05, rate 1 (per time unit), no loss. *)
+
+type t
+
+val create : Instance.t -> Stratify_prng.Rng.t -> params -> t
+(** Peers use the paper's {e random} initiative strategy (propose to a
+    uniform acceptable peer) — the only one available without a global
+    availability oracle. *)
+
+val time : t -> float
+
+val run : t -> horizon:float -> unit
+(** Advance the simulation clock (initiatives keep firing). *)
+
+val quiesce : t -> bool
+(** Stop all initiative clocks and drain in-flight messages.  Returns
+    [false] only if the event budget ran out (should not happen). *)
+
+val mutual_config : t -> Config.t
+(** The edges both endpoints currently list. *)
+
+val inconsistency_count : t -> int
+(** Directed listings without reciprocation — in-flight handshakes and
+    not-yet-delivered drops. *)
+
+val messages_sent : t -> int
+val messages_lost : t -> int
+
+val disorder_trajectory :
+  t -> stable:Config.t -> horizon:float -> samples:int -> Stratify_stats.Series.t
+(** Run to [horizon], sampling the mutual configuration's disorder at
+    evenly spaced instants (x-axis: time units ≈ initiatives/peer). *)

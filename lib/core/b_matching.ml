@@ -1,0 +1,88 @@
+module Discrete = Stratify_stats.Discrete
+
+let sweep_generic ~n ~p ~b0 ~f =
+  if p < 0. || p > 1. then invalid_arg "B_matching.sweep: p must be in [0,1]";
+  if b0 <= 0 then invalid_arg "B_matching.sweep: b0 must be positive";
+  (* col_acc.(c).(j) = Σ_{k<i} D_{c+1}(j,k): prefix of peer j's choice-(c+1)
+     distribution over peers better than the current row i. *)
+  let col_acc = Array.init b0 (fun _ -> Array.make n 0.) in
+  let row_acc = Array.make b0 0. in
+  let fi = Array.make b0 0. in
+  let fj = Array.make b0 0. in
+  let di = Array.make b0 0. in
+  let dj = Array.make b0 0. in
+  for i = 0 to n - 1 do
+    for c = 0 to b0 - 1 do
+      row_acc.(c) <- col_acc.(c).(i)
+    done;
+    for j = i + 1 to n - 1 do
+      (* Free-at-level factors, computed from pre-update prefixes. *)
+      for c = 0 to b0 - 1 do
+        let prev = if c = 0 then 1. else row_acc.(c - 1) in
+        fi.(c) <- Float.max 0. (prev -. row_acc.(c));
+        let prev_j = if c = 0 then 1. else col_acc.(c - 1).(j) in
+        fj.(c) <- Float.max 0. (prev_j -. col_acc.(c).(j))
+      done;
+      for c = 0 to b0 - 1 do
+        di.(c) <- 0.;
+        dj.(c) <- 0.
+      done;
+      for ci = 0 to b0 - 1 do
+        for cj = 0 to b0 - 1 do
+          let d = p *. fi.(ci) *. fj.(cj) in
+          di.(ci) <- di.(ci) +. d;
+          dj.(cj) <- dj.(cj) +. d
+        done
+      done;
+      f i j ~fi ~fj ~di ~dj;
+      for c = 0 to b0 - 1 do
+        row_acc.(c) <- row_acc.(c) +. di.(c);
+        col_acc.(c).(j) <- col_acc.(c).(j) +. dj.(c)
+      done
+    done
+  done
+
+let sweep ~n ~p ~b0 ~f =
+  sweep_generic ~n ~p ~b0 ~f:(fun i j ~fi:_ ~fj:_ ~di ~dj -> f i j di dj)
+
+let sweep_joint ~n ~p ~b0 ~f =
+  let joint = Array.make_matrix b0 b0 0. in
+  sweep_generic ~n ~p ~b0 ~f:(fun i j ~fi ~fj ~di:_ ~dj:_ ->
+      for ci = 0 to b0 - 1 do
+        for cj = 0 to b0 - 1 do
+          joint.(ci).(cj) <- p *. fi.(ci) *. fj.(cj)
+        done
+      done;
+      f i j joint)
+
+let choice_distributions ~n ~p ~b0 ~peer =
+  if peer < 0 || peer >= n then invalid_arg "B_matching.choice_distributions: peer out of range";
+  let rows = Array.init b0 (fun _ -> Array.make n 0.) in
+  sweep ~n ~p ~b0 ~f:(fun i j di dj ->
+      if i = peer then for c = 0 to b0 - 1 do rows.(c).(j) <- di.(c) done;
+      if j = peer then for c = 0 to b0 - 1 do rows.(c).(i) <- dj.(c) done);
+  Array.map Discrete.of_weights rows
+
+let mate_count_mass ~n ~p ~b0 ~peer =
+  let total = ref 0. in
+  sweep ~n ~p ~b0 ~f:(fun i j di dj ->
+      if i = peer then Array.iter (fun d -> total := !total +. d) di;
+      if j = peer then Array.iter (fun d -> total := !total +. d) dj);
+  !total
+
+let expectations ~n ~p ~b0 ~value =
+  let e = Array.make n 0. and mass = Array.make n 0. in
+  sweep ~n ~p ~b0 ~f:(fun i j di dj ->
+      let si = Array.fold_left ( +. ) 0. di and sj = Array.fold_left ( +. ) 0. dj in
+      e.(i) <- e.(i) +. (si *. value j);
+      e.(j) <- e.(j) +. (sj *. value i);
+      mass.(i) <- mass.(i) +. si;
+      mass.(j) <- mass.(j) +. sj);
+  (e, mass)
+
+let reduces_to_one_matching ~n ~p =
+  let worst = ref 0. in
+  let reference = One_matching.matrix ~n ~p in
+  sweep ~n ~p ~b0:1 ~f:(fun i j di _dj ->
+      worst := Float.max !worst (Float.abs (di.(0) -. reference.(i).(j))));
+  !worst

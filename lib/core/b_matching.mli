@@ -1,0 +1,59 @@
+(** The independent b₀-matching model — Algorithm 3 of the paper.
+
+    Generalises {!One_matching} to [b0] collaboration slots per peer.  The
+    object computed is [Dᶜʲ_ᶜᵢ(i,j)]: the probability that peer [j] is
+    peer [i]'s choice number [ci] {e and} [i] is [j]'s choice number [cj]
+    (choices are numbered 1 … b0, best mate first).  Under Assumption 2 it
+    factorises as
+
+    {v Dᶜʲ_ᶜᵢ(i,j) = p · F_i^{ci}(j) · F_j^{cj}(i) v}
+
+    where [F_x^c(y) = Σ_{k<y} (D_{c−1}(x,k) − D_c(x,k))] is the probability
+    that choice [c−1] of [x] is matched better than [y] while choice [c] is
+    not, with the convention [Σ_{k<y} D_0(x,k) ≡ 1] (the paper's
+    [Dc0 ← ones]).  The quantity of interest is the per-choice marginal
+    [D_c(i,j) = Σ_{cj} Dᶜʲ_c(i,j)].
+
+    Implemented with the paper's suggested prefix-sum optimisation: the
+    "partial sums kept in memory" make the sweep O(n²·b0²) time and
+    O(n·b0) memory. *)
+
+val sweep :
+  n:int ->
+  p:float ->
+  b0:int ->
+  f:(int -> int -> float array -> float array -> unit) ->
+  unit
+(** Visit each pair [(i, j)], [i < j], with the per-choice marginals:
+    [f i j di dj] where [di.(c)] is [D_{c+1}(i,j)] ("j is i's choice c+1")
+    and [dj.(c)] is [D_{c+1}(j,i)].  The arrays are reused between calls —
+    copy them if you keep them. *)
+
+val choice_distributions :
+  n:int -> p:float -> b0:int -> peer:int -> Stratify_stats.Discrete.t array
+(** For one peer, the [b0] rows [D_c(peer, ·)], c = 1 … b0 — the estimated
+    curves of Fig 9. *)
+
+val mate_count_mass : n:int -> p:float -> b0:int -> peer:int -> float
+(** Expected number of mates of [peer]: [Σ_c Σ_j D_c(peer,j)] (≤ b0). *)
+
+val expectations : n:int -> p:float -> b0:int -> value:(int -> float) -> float array * float array
+(** [(e, mass)] with [e.(i) = Σ_c Σ_j D_c(i,j)·value(j)] and [mass.(i)] the
+    expected mate count — the Fig 11 download model. *)
+
+val reduces_to_one_matching : n:int -> p:float -> float
+(** Max absolute difference between this model at [b0 = 1] and
+    {!One_matching} over all pairs — a consistency diagnostic (should be
+    ~1e-15). *)
+
+val sweep_joint :
+  n:int ->
+  p:float ->
+  b0:int ->
+  f:(int -> int -> float array array -> unit) ->
+  unit
+(** Visit each pair [(i, j)], [i < j], with the full joint matrix:
+    [joint.(ci).(cj) = Dᶜʲ⁺¹_ᶜᵢ₊₁(i,j)] ("j is i's choice ci+1 and i is
+    j's choice cj+1") — the paper's actual Algorithm 3 object.  The matrix
+    is reused between calls.  Marginals recovered by row/column sums equal
+    {!sweep}'s outputs. *)

@@ -1,0 +1,76 @@
+let would_accept c p q =
+  if Config.free_slots c p > 0 then Instance.slots (Config.instance c) p > 0
+  else
+    match Config.worst_mate c p with
+    | None -> false (* b(p) = 0: no slot will ever open *)
+    | Some w -> q < w
+
+let is_blocking c p q =
+  p <> q
+  && (not (Config.mated c p q))
+  && Instance.accepts (Config.instance c) p q
+  && would_accept c p q
+  && would_accept c q p
+
+let best_blocking_mate c p =
+  let inst = Config.instance c in
+  if Instance.slots inst p = 0 then None
+  else begin
+    let row = Instance.acceptable inst p in
+    let len = Array.length row in
+    (* The acceptance list is best-first; the first q that blocks is the
+       best blocking mate.  Once q is worse than p's worst mate and p is
+       full, no later q can block — stop early. *)
+    let rec scan i =
+      if i >= len then None
+      else begin
+        let q = row.(i) in
+        if not (would_accept c p q) then None
+        else if (not (Config.mated c p q)) && would_accept c q p then Some q
+        else scan (i + 1)
+      end
+    in
+    scan 0
+  end
+
+let blocking_mate_from c p ~start =
+  let inst = Config.instance c in
+  let row = Instance.acceptable inst p in
+  let len = Array.length row in
+  if len = 0 then None
+  else begin
+    let start = ((start mod len) + len) mod len in
+    let rec scan step =
+      if step >= len then None
+      else begin
+        let i = (start + step) mod len in
+        let q = row.(i) in
+        if is_blocking c p q then Some (q, (i + 1) mod len) else scan (step + 1)
+      end
+    in
+    scan 0
+  end
+
+let blocking_pairs c =
+  let inst = Config.instance c in
+  let out = ref [] in
+  for p = Instance.n inst - 1 downto 0 do
+    Array.iter
+      (fun q -> if p < q && is_blocking c p q then out := (p, q) :: !out)
+      (Instance.acceptable inst p)
+  done;
+  !out
+
+let first_blocking_pair c =
+  let inst = Config.instance c in
+  let n = Instance.n inst in
+  let rec loop p =
+    if p >= n then None
+    else
+      match best_blocking_mate c p with
+      | Some q -> Some (min p q, max p q)
+      | None -> loop (p + 1)
+  in
+  loop 0
+
+let is_stable c = first_blocking_pair c = None

@@ -1,0 +1,159 @@
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+module Undirected = Stratify_graph.Undirected
+module Series = Stratify_stats.Series
+
+type params = {
+  n : int;
+  d : float;
+  b : int;
+  rate : float;
+  units : int;
+  samples_per_unit : int;
+  strategy : Initiative.strategy;
+}
+
+(* Rebuild a configuration on a fresh instance, keeping the collaborations
+   whose two endpoints are still present and acceptable. *)
+let reconfigure old_config instance present =
+  let fresh = Config.empty instance in
+  Config.iter_pairs
+    (fun p q ->
+      if present.(p) && present.(q) && Instance.accepts instance p q then
+        Config.connect fresh p q)
+    old_config;
+  fresh
+
+type world = {
+  graph : Undirected.t;
+  present : bool array;
+  budgets : int array;
+  mutable instance : Instance.t;
+  mutable config : Config.t;
+  mutable stable : Config.t;
+  mutable state : Initiative.state;
+}
+
+let make_world rng ~n ~d ~b =
+  let graph = Gen.gnd rng ~n ~d in
+  let instance = Instance.create ~graph ~b:(Array.make n b) () in
+  {
+    graph;
+    present = Array.make n true;
+    budgets = Array.make n b;
+    instance;
+    config = Config.empty instance;
+    stable = Greedy.stable_config instance;
+    state = Initiative.create_state instance;
+  }
+
+let refresh w =
+  w.instance <- Instance.create ~graph:w.graph ~b:w.budgets ();
+  w.config <- reconfigure w.config w.instance w.present;
+  w.stable <- Greedy.stable_config w.instance;
+  w.state <- Initiative.create_state w.instance
+
+let remove_peer w v =
+  Undirected.isolate w.graph v;
+  w.present.(v) <- false;
+  refresh w
+
+let insert_peer rng w v ~p =
+  w.present.(v) <- true;
+  ignore (Gen.attach_fresh_vertex rng w.graph ~v ~p ~present:(fun x -> w.present.(x)));
+  refresh w
+
+let random_member rng mask value =
+  let count = Array.fold_left (fun acc x -> if x = value then acc + 1 else acc) 0 mask in
+  if count = 0 then None
+  else begin
+    let target = Rng.int rng count in
+    let idx = ref (-1) and seen = ref 0 in
+    Array.iteri
+      (fun i x ->
+        if x = value then begin
+          if !seen = target then idx := i;
+          incr seen
+        end)
+      mask;
+    Some !idx
+  end
+
+let churn_event rng w ~p =
+  let remove_first = Rng.bool rng in
+  let try_remove () =
+    (* Keep at least two present peers so initiatives stay meaningful. *)
+    let present_count = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 w.present in
+    if present_count <= 2 then false
+    else
+      match random_member rng w.present true with
+      | Some v ->
+          remove_peer w v;
+          true
+      | None -> false
+  in
+  let try_insert () =
+    match random_member rng w.present false with
+    | Some v ->
+        insert_peer rng w v ~p;
+        true
+    | None -> false
+  in
+  if remove_first then (if not (try_remove ()) then ignore (try_insert ()))
+  else if not (try_insert ()) then ignore (try_remove ())
+
+let initiative_step rng w strategy =
+  match random_member rng w.present true with
+  | None -> ()
+  | Some peer -> ignore (Initiative.attempt w.config w.state strategy rng peer)
+
+let run rng params =
+  let { n; d; b; rate; units; samples_per_unit; strategy } = params in
+  let er_p = if n > 1 then d /. float_of_int (n - 1) else 0. in
+  let w = make_world rng ~n ~d ~b in
+  let stride = max 1 (n / samples_per_unit) in
+  let total_steps = units * n in
+  let sample () = Disorder.distance_on ~present:w.present w.config w.stable in
+  let points = ref [ (0., sample ()) ] in
+  let steps = ref 0 in
+  while !steps < total_steps do
+    let burst = min stride (total_steps - !steps) in
+    for _ = 1 to burst do
+      if Rng.bernoulli rng rate then churn_event rng w ~p:er_p;
+      initiative_step rng w strategy
+    done;
+    steps := !steps + burst;
+    points := (float_of_int !steps /. float_of_int n, sample ()) :: !points
+  done;
+  Series.make (Printf.sprintf "churn=%g" rate) (Array.of_list (List.rev !points))
+
+let removal_trajectory rng ~n ~d ~b ~remove ~units ~samples_per_unit =
+  let w = make_world rng ~n ~d ~b in
+  (* Start at the stable configuration, then lose one peer. *)
+  w.config <- Config.copy w.stable;
+  remove_peer w remove;
+  let stride = max 1 (n / samples_per_unit) in
+  let total_steps = units * n in
+  let sample () = Disorder.distance_on ~present:w.present w.config w.stable in
+  let points = ref [ (0., sample ()) ] in
+  let steps = ref 0 in
+  while !steps < total_steps do
+    let burst = min stride (total_steps - !steps) in
+    for _ = 1 to burst do
+      initiative_step rng w Initiative.Best_mate
+    done;
+    steps := !steps + burst;
+    points := (float_of_int !steps /. float_of_int n, sample ()) :: !points
+  done;
+  Series.make (Printf.sprintf "removed=%d" remove) (Array.of_list (List.rev !points))
+
+let mean_disorder_tail series ~skip_units =
+  let total = ref 0. and count = ref 0 in
+  Array.iter
+    (fun (x, y) ->
+      if x >= skip_units then begin
+        total := !total +. y;
+        incr count
+      end)
+    series.Series.points;
+  if !count = 0 then 0. else !total /. float_of_int !count

@@ -1,0 +1,39 @@
+(** Churn experiments (§3, Figs 2–3): peer departures and arrivals over a
+    fixed rank universe.
+
+    A departure isolates a peer (its acceptance edges and collaborations
+    vanish); an arrival re-inserts an absent peer with fresh Erdős–Rényi
+    edges to the present population.  The {e instant stable configuration}
+    is recomputed after every event, and disorder is always measured
+    against it, restricted to present peers. *)
+
+type params = {
+  n : int;  (** rank-universe size *)
+  d : float;  (** expected acceptance degree *)
+  b : int;  (** per-peer slot budget (the paper uses 1) *)
+  rate : float;  (** churn events per initiative step (e.g. 30/1000) *)
+  units : int;  (** duration in base units *)
+  samples_per_unit : int;
+  strategy : Initiative.strategy;
+}
+
+val run : Stratify_prng.Rng.t -> params -> Stratify_stats.Series.t
+(** Fig 3: from the empty configuration, disorder relative to the instant
+    stable configuration over time, under continuous churn. *)
+
+val removal_trajectory :
+  Stratify_prng.Rng.t ->
+  n:int ->
+  d:float ->
+  b:int ->
+  remove:int ->
+  units:int ->
+  samples_per_unit:int ->
+  Stratify_stats.Series.t
+(** Fig 2: start {e at} the stable configuration, remove one peer (rank
+    label, 0 = best), and track disorder towards the new stable
+    configuration. *)
+
+val mean_disorder_tail : Stratify_stats.Series.t -> skip_units:float -> float
+(** Average disorder after a warm-up prefix — the "plateau level" used to
+    compare churn rates. *)

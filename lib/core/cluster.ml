@@ -1,0 +1,43 @@
+module Components = Stratify_graph.Components
+
+type analysis = {
+  component_sizes : int array;
+  mean_size : float;
+  largest : int;
+  count : int;
+}
+
+let collaboration_graph ~b = Greedy.stable_complete ~b
+
+let analyze adj =
+  let comps = Components.of_adjacency adj in
+  let sizes = Array.copy comps.Components.sizes in
+  Array.sort (fun a b -> compare b a) sizes;
+  {
+    component_sizes = sizes;
+    mean_size = Components.mean_size comps;
+    largest = Components.largest_size comps;
+    count = comps.Components.count;
+  }
+
+let analyze_budgets ~b = analyze (collaboration_graph ~b)
+
+let predicted_block ~n ~b0 ~peer =
+  if b0 <= 0 then [ peer ]
+  else begin
+    let block = peer / (b0 + 1) in
+    let start = block * (b0 + 1) in
+    let stop = min n (start + b0 + 1) - 1 in
+    List.init (stop - start + 1) (fun i -> start + i)
+  end
+
+let matches_block_structure ~n ~b0 adj =
+  if Array.length adj <> n then false
+  else begin
+    let ok = ref true in
+    for peer = 0 to n - 1 do
+      let expected = List.filter (fun q -> q <> peer) (predicted_block ~n ~b0 ~peer) in
+      if Array.to_list adj.(peer) <> expected then ok := false
+    done;
+    !ok
+  end

@@ -1,0 +1,31 @@
+(** Cluster structure of stable configurations on complete acceptance
+    graphs (§4).
+
+    With constant budgets [b0] the stable collaboration graph is a chain of
+    complete blocks of size [b0+1] (Fig 4); heterogeneous budgets fuse the
+    blocks into huge components (Table 1, Fig 6). *)
+
+type analysis = {
+  component_sizes : int array;  (** sorted decreasingly *)
+  mean_size : float;
+  largest : int;
+  count : int;
+}
+
+val collaboration_graph : b:int array -> int array array
+(** Stable collaboration graph on the complete acceptance graph (identity
+    ranking), as sorted adjacency arrays.  Fast path — O(n · max b). *)
+
+val analyze : int array array -> analysis
+(** Component statistics of a collaboration graph. *)
+
+val analyze_budgets : b:int array -> analysis
+(** [analyze (collaboration_graph ~b)]. *)
+
+val predicted_block : n:int -> b0:int -> peer:int -> int list
+(** The members of [peer]'s predicted cluster under constant [b0]-matching:
+    the block [\[k(b0+1), …\]] containing it, truncated at [n]. *)
+
+val matches_block_structure : n:int -> b0:int -> int array array -> bool
+(** Does a collaboration graph consist exactly of the predicted complete
+    blocks? (Fig 4's claim.) *)

@@ -1,0 +1,84 @@
+type t = {
+  instance : Instance.t;
+  mates : int list array;  (* each list increasing = best-ranked first *)
+  mutable edges : int;
+}
+
+let empty instance =
+  { instance; mates = Array.make (Instance.n instance) []; edges = 0 }
+
+let instance t = t.instance
+let degree t p = List.length t.mates.(p)
+let free_slots t p = Instance.slots t.instance p - degree t p
+let is_full t p = free_slots t p <= 0
+let mates t p = t.mates.(p)
+let best_mate t p = match t.mates.(p) with [] -> None | q :: _ -> Some q
+
+let worst_mate t p =
+  match t.mates.(p) with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+let mated t p q = List.mem q t.mates.(p)
+
+let insert_sorted q l =
+  let rec go = function
+    | [] -> [ q ]
+    | x :: rest as all -> if q < x then q :: all else x :: go rest
+  in
+  go l
+
+let connect t p q =
+  if p = q then invalid_arg "Config.connect: self-collaboration";
+  if not (Instance.accepts t.instance p q) then
+    invalid_arg "Config.connect: pair not in the acceptance graph";
+  if mated t p q then invalid_arg "Config.connect: already mates";
+  if free_slots t p <= 0 || free_slots t q <= 0 then
+    invalid_arg "Config.connect: no free slot";
+  t.mates.(p) <- insert_sorted q t.mates.(p);
+  t.mates.(q) <- insert_sorted p t.mates.(q);
+  t.edges <- t.edges + 1
+
+let disconnect t p q =
+  if not (mated t p q) then invalid_arg "Config.disconnect: not mates";
+  t.mates.(p) <- List.filter (fun x -> x <> q) t.mates.(p);
+  t.mates.(q) <- List.filter (fun x -> x <> p) t.mates.(q);
+  t.edges <- t.edges - 1
+
+let drop_worst t p =
+  match worst_mate t p with
+  | None -> None
+  | Some q ->
+      disconnect t p q;
+      Some q
+
+let edge_count t = t.edges
+
+let iter_pairs f t =
+  Array.iteri (fun p l -> List.iter (fun q -> if p < q then f p q) l) t.mates
+
+let copy t = { instance = t.instance; mates = Array.copy t.mates; edges = t.edges }
+
+let equal a b =
+  a.edges = b.edges
+  && begin
+       let n = Array.length a.mates in
+       let rec check p = p >= n || (a.mates.(p) = b.mates.(p) && check (p + 1)) in
+       check 0
+     end
+
+let signature t =
+  let buf = Buffer.create (16 * t.edges) in
+  iter_pairs
+    (fun p q ->
+      Buffer.add_string buf (string_of_int p);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int q);
+      Buffer.add_char buf ';')
+    t;
+  Buffer.contents buf
+
+let to_adjacency t = Array.map Array.of_list t.mates
+
+let of_pairs instance pairs =
+  let t = empty instance in
+  List.iter (fun (p, q) -> connect t p q) pairs;
+  t

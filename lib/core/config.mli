@@ -1,0 +1,63 @@
+(** Configurations (the paper's "matchings"): who currently collaborates
+    with whom.
+
+    A configuration is a subgraph of the acceptance graph in which every
+    peer [p] has degree at most [b(p)].  The structure is mutable — the
+    initiative dynamics of §3 rewires it in place — and keeps each peer's
+    mate list sorted best-first so that worst-mate lookups are O(1). *)
+
+type t
+
+val empty : Instance.t -> t
+(** The empty configuration [C∅]. *)
+
+val instance : t -> Instance.t
+
+val degree : t -> int -> int
+(** Current number of mates of a peer. *)
+
+val free_slots : t -> int -> int
+(** [b(p)] minus current degree. *)
+
+val is_full : t -> int -> bool
+
+val mates : t -> int -> int list
+(** Mates best-ranked first. *)
+
+val best_mate : t -> int -> int option
+val worst_mate : t -> int -> int option
+
+val mated : t -> int -> int -> bool
+(** Whether two peers are currently mates. *)
+
+val connect : t -> int -> int -> unit
+(** Add a collaboration.  Raises [Invalid_argument] if the pair is
+    unacceptable, already mated, or either side has no free slot — callers
+    decide what to drop first. *)
+
+val disconnect : t -> int -> int -> unit
+(** Remove a collaboration.  Raises [Invalid_argument] if absent. *)
+
+val drop_worst : t -> int -> int option
+(** Disconnect and return a peer's worst mate ([None] if unmated). *)
+
+val edge_count : t -> int
+(** Number of collaborations. *)
+
+val iter_pairs : (int -> int -> unit) -> t -> unit
+(** Iterate each collaboration once with [p < q] (rank labels). *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Same collaboration set (instances assumed identical). *)
+
+val signature : t -> string
+(** Canonical string key of the collaboration set — used to detect
+    configuration revisits (Theorem 1 asserts none happen). *)
+
+val to_adjacency : t -> int array array
+(** Collaboration graph as sorted adjacency arrays over rank labels. *)
+
+val of_pairs : Instance.t -> (int * int) list -> t
+(** Build from explicit pairs; validates acceptability and budgets. *)

@@ -1,0 +1,38 @@
+(* Sum over slot columns of |mate difference|, mates best-first, padding
+   with the virtual worst mate [n] (0-based labels make [n] play the role
+   of the paper's [n+1]). *)
+let column_gap n b mates1 mates2 =
+  let rec go l1 l2 remaining acc =
+    if remaining = 0 then acc
+    else
+      match (l1, l2) with
+      | [], [] -> acc
+      | x :: r1, [] -> go r1 [] (remaining - 1) (acc + abs (x - n))
+      | [], y :: r2 -> go [] r2 (remaining - 1) (acc + abs (n - y))
+      | x :: r1, y :: r2 -> go r1 r2 (remaining - 1) (acc + abs (x - y))
+  in
+  go mates1 mates2 b 0
+
+let generic ~present c1 c2 =
+  let inst = Config.instance c1 in
+  let n_total = Instance.n inst in
+  if Instance.n (Config.instance c2) <> n_total then
+    invalid_arg "Disorder.distance: instance size mismatch";
+  let considered p = match present with None -> true | Some mask -> mask.(p) in
+  let n_present = ref 0 and b_present = ref 0 and total = ref 0 in
+  for p = 0 to n_total - 1 do
+    if considered p then begin
+      incr n_present;
+      let b = max (Instance.slots inst p) (Instance.slots (Config.instance c2) p) in
+      b_present := !b_present + b;
+      total := !total + column_gap n_total b (Config.mates c1 p) (Config.mates c2 p)
+    end
+  done;
+  if !b_present = 0 then 0.
+  else
+    2. *. float_of_int !total
+    /. (float_of_int !b_present *. float_of_int (!n_present + 1))
+
+let distance c1 c2 = generic ~present:None c1 c2
+let disorder c ~stable = distance c stable
+let distance_on ~present c1 c2 = generic ~present:(Some present) c1 c2

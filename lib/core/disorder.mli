@@ -1,0 +1,22 @@
+(** The paper's configuration distance and the {e disorder} measure (§3).
+
+    For 1-matchings the distance is exactly the paper's
+
+    {v D(C1,C2) = Σ_i |σ(C1,i) − σ(C2,i)| · 2/(n(n+1)) v}
+
+    where [σ(C,i)] is [i]'s mate and unmatched peers count as a virtual
+    worst mate.  The normalisation makes the distance between any perfect
+    matching and the empty configuration equal to 1.  For b-matchings the
+    sum runs over slot columns (mates sorted best-first, padded with the
+    virtual mate) and the normalisation generalises to [2/(B(n+1))] with
+    [B = Σ b(i)], which degenerates to the paper's formula at [b ≡ 1]. *)
+
+val distance : Config.t -> Config.t -> float
+(** Both configurations must be over instances of equal size and budgets. *)
+
+val disorder : Config.t -> stable:Config.t -> float
+(** Distance to the (instant) stable configuration. *)
+
+val distance_on : present:bool array -> Config.t -> Config.t -> float
+(** Restriction to a peer subset: absent peers contribute nothing and the
+    normalisation uses the present population only (churn support). *)

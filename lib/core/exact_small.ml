@@ -1,0 +1,78 @@
+(* Enumerate acceptance graphs as bitmasks over the upper-triangular edge
+   list; run the greedy stable-matching directly on the mask. *)
+
+let edge_list n =
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Array.of_list !edges
+
+let enumerate ~n ~p ~b0 ~visit =
+  if n > 7 then invalid_arg "Exact_small: n too large for exhaustive enumeration";
+  if p < 0. || p > 1. then invalid_arg "Exact_small: p must be in [0,1]";
+  if b0 <= 0 then invalid_arg "Exact_small: b0 must be positive";
+  let edges = edge_list n in
+  let m = Array.length edges in
+  let avail = Array.make n 0 in
+  let mates = Array.make_matrix n b0 (-1) in
+  let filled = Array.make n 0 in
+  for mask = 0 to (1 lsl m) - 1 do
+    let edge_count = ref 0 in
+    Array.fill avail 0 n b0;
+    Array.fill filled 0 n 0;
+    (* Greedy Algorithm 1: edges are listed in (i, j) lexicographic order,
+       which is exactly "each peer i in rank order takes the best
+       still-available j > i". *)
+    for e = 0 to m - 1 do
+      if mask land (1 lsl e) <> 0 then begin
+        incr edge_count;
+        let i, j = edges.(e) in
+        if avail.(i) > 0 && avail.(j) > 0 then begin
+          avail.(i) <- avail.(i) - 1;
+          avail.(j) <- avail.(j) - 1;
+          mates.(i).(filled.(i)) <- j;
+          filled.(i) <- filled.(i) + 1;
+          mates.(j).(filled.(j)) <- i;
+          filled.(j) <- filled.(j) + 1
+        end
+      end
+    done;
+    let weight =
+      Float.pow p (float_of_int !edge_count)
+      *. Float.pow (1. -. p) (float_of_int (m - !edge_count))
+    in
+    visit ~weight ~mates ~filled
+  done
+
+(* Mates of a peer arrive best-first: partners better than i claim i in
+   rank order first, then i claims worse partners in rank order — so the
+   fill order is already the choice order. *)
+
+let choice_matrices ~n ~p ~b0 =
+  let out = Array.init b0 (fun _ -> Array.make_matrix n n 0.) in
+  enumerate ~n ~p ~b0 ~visit:(fun ~weight ~mates ~filled ->
+      for i = 0 to n - 1 do
+        for c = 0 to filled.(i) - 1 do
+          let j = mates.(i).(c) in
+          out.(c).(i).(j) <- out.(c).(i).(j) +. weight
+        done
+      done);
+  out
+
+let mate_matrix ~n ~p ~b0 =
+  let out = Array.make_matrix n n 0. in
+  enumerate ~n ~p ~b0 ~visit:(fun ~weight ~mates ~filled ->
+      for i = 0 to n - 1 do
+        for c = 0 to filled.(i) - 1 do
+          let j = mates.(i).(c) in
+          out.(i).(j) <- out.(i).(j) +. weight
+        done
+      done);
+  out
+
+let fig7_exact ~p = (p, p *. (1. -. p), p *. (1. -. p) *. (1. -. p))
+
+let fig7_approximation_error ~p = p *. p *. p *. (1. -. p)

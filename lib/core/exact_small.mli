@@ -1,0 +1,21 @@
+(** Exact mate distributions by exhaustive graph enumeration (Fig 7).
+
+    For tiny [n], every one of the [2^(n(n−1)/2)] acceptance graphs is
+    enumerated with its Erdős–Rényi probability and the {e exact} stable
+    b₀-matching computed on each — the ground truth that exposes the error
+    of Assumption 1/2.  Exponential: intended for [n ≤ 7]. *)
+
+val mate_matrix : n:int -> p:float -> b0:int -> float array array
+(** [m.(i).(j)] = exact probability that [i] and [j] are mates in the
+    stable configuration of a random [G(n,p)]. *)
+
+val choice_matrices : n:int -> p:float -> b0:int -> float array array array
+(** [c.(k).(i).(j)] = exact probability that [j] is [i]'s choice [k+1]. *)
+
+val fig7_exact : p:float -> float * float * float
+(** The paper's closed forms for [n = 3], 1-matching:
+    [D(1,2) = p], [D(1,3) = p(1−p)], [D(2,3) = p(1−p)²]
+    (peers renamed 0-based internally; returned in paper order). *)
+
+val fig7_approximation_error : p:float -> float
+(** The predicted gap of Algorithm 2 on [D(2,3)]: [p³(1−p)]. *)

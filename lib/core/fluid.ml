@@ -1,0 +1,42 @@
+module Series = Stratify_stats.Series
+module Discrete = Stratify_stats.Discrete
+
+let density ~d beta = if beta < 0. then 0. else d *. exp (-.beta *. d)
+let cdf ~d beta = if beta < 0. then 0. else 1. -. exp (-.beta *. d)
+let mean_offset ~d = 1. /. d
+
+let scaled_best_peer_series ~n ~d =
+  let p = d /. float_of_int n in
+  let row = (One_matching.mate_distributions ~n ~p ~peers:[| 0 |]).(0) in
+  let fn = float_of_int n in
+  let points =
+    Array.init (n - 1) (fun k ->
+        let j = k + 1 in
+        (float_of_int j /. fn, fn *. Discrete.mass row j))
+  in
+  Series.make (Printf.sprintf "n=%d,d=%g" n d) points
+
+let max_gap_to_limit ~n ~d =
+  let series = scaled_best_peer_series ~n ~d in
+  Array.fold_left
+    (fun acc (beta, y) -> Float.max acc (Float.abs (y -. density ~d beta)))
+    0. series.Series.points
+
+let offset_series ~n ~d ~alpha =
+  if alpha < 0. || alpha > 1. then invalid_arg "Fluid.offset_series: alpha must be in [0,1]";
+  let p = d /. float_of_int n in
+  let peer = min (n - 1) (int_of_float (alpha *. float_of_int (n - 1))) in
+  let row = (One_matching.mate_distributions ~n ~p ~peers:[| peer |]).(0) in
+  let fn = float_of_int n in
+  let points =
+    Array.init n (fun j -> (float_of_int (j - peer) /. fn, fn *. Discrete.mass row j))
+  in
+  Series.make (Printf.sprintf "alpha=%g" alpha) points
+
+let shift_invariance_gap ~n ~d ~alpha1 ~alpha2 =
+  let s1 = offset_series ~n ~d ~alpha:alpha1 and s2 = offset_series ~n ~d ~alpha:alpha2 in
+  (* Compare densities on the common offset grid around zero. *)
+  let probes = Array.init 81 (fun i -> (float_of_int i -. 40.) /. (2. *. d) /. 10.) in
+  let total = ref 0. in
+  Array.iter (fun x -> total := !total +. Float.abs (Series.eval s1 x -. Series.eval s2 x)) probes;
+  !total /. float_of_int (Array.length probes)

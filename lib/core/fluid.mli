@@ -1,0 +1,34 @@
+(** The fluid limit of the independent model (§5.2, Conjecture 1).
+
+    With [p = d/n] and [n → ∞], the rank offset [β = (j − i)/n] of a
+    peer's mate has an absolutely continuous limit law; for the best peer
+    ([α = 0]) the paper derives the density [M₀,d(β) = d·e^{−βd}]. *)
+
+val density : d:float -> float -> float
+(** [density ~d beta = d·exp(−beta·d)] for [beta ≥ 0], 0 below. *)
+
+val cdf : d:float -> float -> float
+(** [1 − exp(−beta·d)]. *)
+
+val mean_offset : d:float -> float
+(** [1/d] — the expected scaled rank offset of the best peer's mate. *)
+
+val scaled_best_peer_series : n:int -> d:float -> Stratify_stats.Series.t
+(** The finite-[n] analogue from Algorithm 2: points
+    [(β, n·D(0, ⌊βn⌋))] for the best peer, to be compared against
+    {!density} (they converge as [n] grows). *)
+
+val max_gap_to_limit : n:int -> d:float -> float
+(** [sup_β |n·D(0, βn) − d·e^{−βd}|] over the sampled points — the
+    convergence diagnostic used in tests. *)
+
+val offset_series : n:int -> d:float -> alpha:float -> Stratify_stats.Series.t
+(** Mate-offset distribution of the peer at relative rank [alpha]:
+    points [((j − i)/n, n·D(i, j))] with [i = ⌊alpha·(n−1)⌋] — the
+    finite-[n] version of Conjecture 1's [M(alpha, d)]. *)
+
+val shift_invariance_gap : n:int -> d:float -> alpha1:float -> alpha2:float -> float
+(** Mean absolute difference between the offset distributions at two
+    relative ranks (§5.3's "the distribution simply shifts with the rank
+    of the peer": small for mid-range alphas — stratification is a pure
+    translation there). *)

@@ -1,0 +1,84 @@
+type matching = { proposer_mate : int array; receiver_mate : int array }
+
+let validate name prefs n =
+  if Array.length prefs <> n then invalid_arg (name ^ ": wrong number of rows");
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg (name ^ ": incomplete preference list");
+      let seen = Array.make n false in
+      Array.iter
+        (fun q ->
+          if q < 0 || q >= n then invalid_arg (name ^ ": entry out of range");
+          if seen.(q) then invalid_arg (name ^ ": duplicate entry");
+          seen.(q) <- true)
+        row)
+    prefs
+
+let run ~proposer_prefs ~receiver_prefs =
+  let n = Array.length proposer_prefs in
+  validate "Gale_shapley: proposer_prefs" proposer_prefs n;
+  validate "Gale_shapley: receiver_prefs" receiver_prefs n;
+  let receiver_rank =
+    Array.map
+      (fun row ->
+        let rank = Array.make n 0 in
+        Array.iteri (fun i m -> rank.(m) <- i) row;
+        rank)
+      receiver_prefs
+  in
+  let proposer_mate = Array.make n (-1) in
+  let receiver_mate = Array.make n (-1) in
+  let next_proposal = Array.make n 0 in
+  let free = Queue.create () in
+  for m = 0 to n - 1 do
+    Queue.push m free
+  done;
+  while not (Queue.is_empty free) do
+    let m = Queue.pop free in
+    let w = proposer_prefs.(m).(next_proposal.(m)) in
+    next_proposal.(m) <- next_proposal.(m) + 1;
+    let current = receiver_mate.(w) in
+    if current < 0 then begin
+      receiver_mate.(w) <- m;
+      proposer_mate.(m) <- w
+    end
+    else if receiver_rank.(w).(m) < receiver_rank.(w).(current) then begin
+      receiver_mate.(w) <- m;
+      proposer_mate.(m) <- w;
+      proposer_mate.(current) <- -1;
+      Queue.push current free
+    end
+    else Queue.push m free
+  done;
+  { proposer_mate; receiver_mate }
+
+let is_stable ~proposer_prefs ~receiver_prefs matching =
+  let n = Array.length proposer_prefs in
+  let rank_of prefs =
+    Array.map
+      (fun row ->
+        let rank = Array.make n 0 in
+        Array.iteri (fun i q -> rank.(q) <- i) row;
+        rank)
+      prefs
+  in
+  let proposer_rank = rank_of proposer_prefs and receiver_rank = rank_of receiver_prefs in
+  let blocking = ref false in
+  for m = 0 to n - 1 do
+    for w = 0 to n - 1 do
+      let m_mate = matching.proposer_mate.(m) and w_mate = matching.receiver_mate.(w) in
+      let m_prefers_w = m_mate < 0 || proposer_rank.(m).(w) < proposer_rank.(m).(m_mate) in
+      let w_prefers_m = w_mate < 0 || receiver_rank.(w).(m) < receiver_rank.(w).(w_mate) in
+      if m_mate <> w && m_prefers_w && w_prefers_m then blocking := true
+    done
+  done;
+  not !blocking
+
+let proposer_rank_of_mate ~proposer_prefs matching =
+  let n = Array.length proposer_prefs in
+  let total = ref 0 in
+  for m = 0 to n - 1 do
+    let w = matching.proposer_mate.(m) in
+    Array.iteri (fun i q -> if q = w then total := !total + i) proposer_prefs.(m)
+  done;
+  float_of_int !total /. float_of_int n

@@ -1,0 +1,24 @@
+(** Gale–Shapley stable marriage (1962) — the bipartite ancestor of the
+    paper's framework, included as a reference baseline.
+
+    Two sides of [n] agents each; every agent ranks the whole opposite
+    side.  The deferred-acceptance algorithm returns the proposer-optimal
+    stable matching in O(n²). *)
+
+type matching = { proposer_mate : int array; receiver_mate : int array }
+(** [proposer_mate.(m)] is the receiver matched to proposer [m] (complete
+    preference lists make the matching perfect). *)
+
+val run : proposer_prefs:int array array -> receiver_prefs:int array array -> matching
+(** [run ~proposer_prefs ~receiver_prefs] where row [p] lists the opposite
+    side most-preferred first.  Lists must be complete permutations of
+    [0 .. n-1]; raises [Invalid_argument] otherwise. *)
+
+val is_stable :
+  proposer_prefs:int array array -> receiver_prefs:int array array -> matching -> bool
+(** No proposer/receiver pair prefers each other to their assigned
+    partners. *)
+
+val proposer_rank_of_mate : proposer_prefs:int array array -> matching -> float
+(** Mean position (0 = favourite) proposers give their assigned partner —
+    the classic proposer-optimality diagnostic. *)

@@ -1,0 +1,212 @@
+module Rng = Stratify_prng.Rng
+
+type t = {
+  prefs : int array array;  (* acceptance lists, most-preferred first *)
+  position : (int, int) Hashtbl.t array;  (* position.(p) : q -> index in prefs.(p) *)
+  b : int array;
+}
+
+let build prefs b =
+  let n = Array.length prefs in
+  if Array.length b <> n then invalid_arg "General_matching: |b| mismatch";
+  Array.iter (fun k -> if k < 0 then invalid_arg "General_matching: negative budget") b;
+  let position =
+    Array.map
+      (fun row ->
+        let h = Hashtbl.create (2 * Array.length row) in
+        Array.iteri (fun i q -> Hashtbl.replace h q i) row;
+        h)
+      prefs
+  in
+  (* Acceptance must be symmetric. *)
+  Array.iteri
+    (fun p row ->
+      Array.iter
+        (fun q ->
+          if q < 0 || q >= n || q = p then invalid_arg "General_matching: bad acceptance entry";
+          if not (Hashtbl.mem position.(q) p) then
+            invalid_arg "General_matching: acceptance is not symmetric")
+        row)
+    prefs;
+  { prefs; position; b }
+
+let create ~utility ~acceptance ~b =
+  build (Utility.preference_lists utility ~acceptance) b
+
+let of_instance inst =
+  let n = Instance.n inst in
+  let acceptance = Array.init n (Instance.acceptable inst) in
+  let b = Array.init n (Instance.slots inst) in
+  (* Rank labels are already preference-ordered (best first). *)
+  build acceptance b
+
+let n t = Array.length t.prefs
+let slots t p = t.b.(p)
+let preference_list t p = Array.copy t.prefs.(p)
+
+let rank_of t p q =
+  match Hashtbl.find_opt t.position.(p) q with
+  | Some i -> i
+  | None -> invalid_arg "General_matching: unacceptable peer"
+
+let accepts t p q = Hashtbl.mem t.position.(p) q
+let prefers t p a b = rank_of t p a < rank_of t p b
+
+module State = struct
+  type state = { inst : t; mates : int list array; mutable edges : int }
+
+  let empty inst = { inst; mates = Array.make (Array.length inst.prefs) []; edges = 0 }
+  let mates s p = s.mates.(p)
+  let degree s p = List.length s.mates.(p)
+  let mated s p q = List.mem q s.mates.(p)
+
+  let worst_mate s p =
+    match s.mates.(p) with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+  let insert_by_pref inst p q l =
+    let pos = rank_of inst p q in
+    let rec go = function
+      | [] -> [ q ]
+      | x :: rest as all -> if pos < rank_of inst p x then q :: all else x :: go rest
+    in
+    go l
+
+  let connect s p q =
+    if p = q || not (accepts s.inst p q) then invalid_arg "General_matching.connect: unacceptable";
+    if mated s p q then invalid_arg "General_matching.connect: already mates";
+    if degree s p >= s.inst.b.(p) || degree s q >= s.inst.b.(q) then
+      invalid_arg "General_matching.connect: no free slot";
+    s.mates.(p) <- insert_by_pref s.inst p q s.mates.(p);
+    s.mates.(q) <- insert_by_pref s.inst q p s.mates.(q);
+    s.edges <- s.edges + 1
+
+  let disconnect s p q =
+    if not (mated s p q) then invalid_arg "General_matching.disconnect: not mates";
+    s.mates.(p) <- List.filter (fun x -> x <> q) s.mates.(p);
+    s.mates.(q) <- List.filter (fun x -> x <> p) s.mates.(q);
+    s.edges <- s.edges - 1
+
+  let edge_count s = s.edges
+
+  let signature s =
+    let buf = Buffer.create (16 * s.edges) in
+    Array.iteri
+      (fun p l ->
+        List.iter
+          (fun q ->
+            if p < q then begin
+              Buffer.add_string buf (string_of_int p);
+              Buffer.add_char buf ':';
+              Buffer.add_string buf (string_of_int q);
+              Buffer.add_char buf ';'
+            end)
+          l)
+      s.mates;
+    Buffer.contents buf
+
+  let copy s = { inst = s.inst; mates = Array.copy s.mates; edges = s.edges }
+end
+
+let would_accept t (s : State.state) p q =
+  if State.degree s p < t.b.(p) then t.b.(p) > 0
+  else
+    match State.worst_mate s p with None -> false | Some w -> prefers t p q w
+
+let is_blocking t s p q =
+  p <> q
+  && accepts t p q
+  && (not (State.mated s p q))
+  && would_accept t s p q
+  && would_accept t s q p
+
+let blocking_pairs t s =
+  let out = ref [] in
+  for p = n t - 1 downto 0 do
+    Array.iter (fun q -> if p < q && is_blocking t s p q then out := (p, q) :: !out) t.prefs.(p)
+  done;
+  !out
+
+let best_blocking_mate t s p =
+  if t.b.(p) = 0 then None
+  else begin
+    let row = t.prefs.(p) in
+    let len = Array.length row in
+    let full = State.degree s p >= t.b.(p) in
+    let worst = State.worst_mate s p in
+    let rec scan i =
+      if i >= len then None
+      else begin
+        let q = row.(i) in
+        (* Once candidates are no better than p's worst mate and p is
+           full, nothing later can block. *)
+        if full && (match worst with Some w -> not (prefers t p q w) | None -> true) then None
+        else if (not (State.mated s p q)) && would_accept t s q p then Some q
+        else scan (i + 1)
+      end
+    in
+    scan 0
+  end
+
+let is_stable t s =
+  let rec go p = p >= n t || (best_blocking_mate t s p = None && go (p + 1)) in
+  go 0
+
+let satisfy t s p q =
+  if not (is_blocking t s p q) then invalid_arg "General_matching.satisfy: pair does not block";
+  if State.degree s p >= t.b.(p) then
+    (match State.worst_mate s p with Some w -> State.disconnect s p w | None -> ());
+  if State.degree s q >= t.b.(q) then
+    (match State.worst_mate s q with Some w -> State.disconnect s q w | None -> ());
+  State.connect s p q
+
+type run = Converged of { steps : int } | Cycled of { period_found_at : int }
+
+let best_response_run t ?(max_steps = 100_000) rng =
+  let s = State.empty t in
+  let seen = Hashtbl.create 256 in
+  Hashtbl.replace seen (State.signature s) ();
+  let rec go steps =
+    if is_stable t s then Converged { steps }
+    else if steps >= max_steps then Cycled { period_found_at = max_steps }
+    else begin
+      let p = Rng.int rng (n t) in
+      match best_blocking_mate t s p with
+      | None -> go (steps + 1)
+      | Some q ->
+          satisfy t s p q;
+          let sg = State.signature s in
+          if Hashtbl.mem seen sg then Cycled { period_found_at = steps + 1 }
+          else begin
+            Hashtbl.replace seen sg ();
+            go (steps + 1)
+          end
+    end
+  in
+  go 0
+
+let exists_stable t =
+  let edges = ref [] in
+  for p = n t - 1 downto 0 do
+    Array.iter (fun q -> if p < q then edges := (p, q) :: !edges) t.prefs.(p)
+  done;
+  let edges = Array.of_list !edges in
+  let m = Array.length edges in
+  let s = State.empty t in
+  let found = ref false in
+  let rec go i =
+    if not !found then
+      if i >= m then begin
+        if is_stable t s then found := true
+      end
+      else begin
+        let p, q = edges.(i) in
+        go (i + 1);
+        if (not !found) && State.degree s p < t.b.(p) && State.degree s q < t.b.(q) then begin
+          State.connect s p q;
+          go (i + 1);
+          State.disconnect s p q
+        end
+      end
+  in
+  go 0;
+  !found

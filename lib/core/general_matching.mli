@@ -1,0 +1,67 @@
+(** b-matching under {e arbitrary} preferences.
+
+    The generic counterpart of {!Instance}/{!Config}/{!Blocking}: peers
+    rank their acceptable partners by an arbitrary {!Utility.t} instead of
+    a shared global ranking.  Everything the paper proves for the
+    global-ranking class can {e fail} here — stable configurations may not
+    exist, best-response dynamics may cycle — and this module makes those
+    phenomena observable (they are exercised in tests and in the
+    utility-ablation experiment). *)
+
+type t
+(** An instance: acceptance lists ordered by preference, plus budgets. *)
+
+val create : utility:Utility.t -> acceptance:int array array -> b:int array -> t
+(** [acceptance] must be symmetric (checked); budgets non-negative. *)
+
+val of_instance : Instance.t -> t
+(** Embed a global-ranking instance (rank labels become scores). *)
+
+val n : t -> int
+val slots : t -> int -> int
+val preference_list : t -> int -> int array
+(** Acceptable peers, most-preferred first. *)
+
+val prefers : t -> int -> int -> int -> bool
+(** [prefers t p a b]: does [p] strictly prefer [a] to [b]? *)
+
+(** Mutable matching state over an instance. *)
+module State : sig
+  type state
+
+  val empty : t -> state
+  val mates : state -> int -> int list
+  (** Current mates, most-preferred first. *)
+
+  val degree : state -> int -> int
+  val mated : state -> int -> int -> bool
+  val worst_mate : state -> int -> int option
+  val connect : state -> int -> int -> unit
+  val disconnect : state -> int -> int -> unit
+  val edge_count : state -> int
+  val signature : state -> string
+  val copy : state -> state
+end
+
+val is_blocking : t -> State.state -> int -> int -> bool
+val blocking_pairs : t -> State.state -> (int * int) list
+val is_stable : t -> State.state -> bool
+
+val best_blocking_mate : t -> State.state -> int -> int option
+
+val satisfy : t -> State.state -> int -> int -> unit
+(** Execute the blocking pair: both sides drop their worst mate if full,
+    then connect. *)
+
+type run = Converged of { steps : int } | Cycled of { period_found_at : int }
+
+val best_response_run : t -> ?max_steps:int -> Stratify_prng.Rng.t -> run
+(** From the empty state, repeatedly satisfy a random peer's best blocking
+    pair.  Returns [Converged] on reaching stability, [Cycled] when a
+    configuration repeats (impossible under a global ranking — Theorem 1 —
+    but possible in general), and [Cycled] with [period_found_at =
+    max_steps] if the budget runs out undecided. *)
+
+val exists_stable : t -> bool
+(** Exhaustive search over all degree-feasible configurations
+    (exponential; for small instances). *)

@@ -1,0 +1,70 @@
+let stable_config inst =
+  let n = Instance.n inst in
+  let config = Config.empty inst in
+  let available = Array.init n (Instance.slots inst) in
+  for i = 0 to n - 1 do
+    if available.(i) > 0 then begin
+      let row = Instance.acceptable inst i in
+      let len = Array.length row in
+      (* Acceptable peers better than i were processed earlier and either
+         connected to i already (accounted in available) or spent their
+         slots; only peers ranked after i can still be claimed. *)
+      let j = ref 0 in
+      while available.(i) > 0 && !j < len do
+        let q = row.(!j) in
+        if q > i && available.(q) > 0 then begin
+          Config.connect config i q;
+          available.(i) <- available.(i) - 1;
+          available.(q) <- available.(q) - 1
+        end;
+        incr j
+      done
+    end
+  done;
+  config
+
+let stable_complete ~b =
+  let n = Array.length b in
+  Array.iter (fun k -> if k < 0 then invalid_arg "Greedy.stable_complete: negative budget") b;
+  let mates = Array.init n (fun i -> Array.make (min b.(i) (n - 1)) (-1)) in
+  let filled = Array.make n 0 in
+  let available = Array.copy b in
+  (* next.(i) = first peer >= i that may still have capacity; lazily
+     compressed like a union-find "next pointer" structure. *)
+  let next = Array.init (n + 1) (fun i -> i) in
+  let rec find_next i = if i > n then n
+    else if i = n || available.(i) > 0 then i
+    else begin
+      let r = find_next next.(i + 1) in
+      next.(i) <- r;
+      r
+    end
+  in
+  let connect i q =
+    mates.(i).(filled.(i)) <- q;
+    filled.(i) <- filled.(i) + 1;
+    mates.(q).(filled.(q)) <- i;
+    filled.(q) <- filled.(q) + 1;
+    available.(i) <- available.(i) - 1;
+    available.(q) <- available.(q) - 1
+  in
+  for i = 0 to n - 1 do
+    let q = ref (find_next (i + 1)) in
+    while available.(i) > 0 && !q < n do
+      connect i !q;
+      q := find_next (!q + 1)
+    done
+  done;
+  Array.init n (fun i ->
+      let row = Array.sub mates.(i) 0 filled.(i) in
+      Array.sort compare row;
+      row)
+
+let stable_partners_array inst =
+  let n = Instance.n inst in
+  for p = 0 to n - 1 do
+    if Instance.slots inst p > 1 then
+      invalid_arg "Greedy.stable_partners_array: 1-matching only"
+  done;
+  let config = stable_config inst in
+  Array.init n (fun p -> match Config.best_mate config p with Some q -> q | None -> -1)

@@ -1,0 +1,21 @@
+(** Algorithm 1 of the paper: the unique stable configuration of a
+    global-ranking b-matching instance, computed greedily.
+
+    Peers are processed best-rank-first; each takes the best acceptable
+    peers that still have free slots.  Every connection made this way is
+    stable by immediate recurrence, and with a global ranking the result is
+    the {e unique} stable configuration (Tan 1991). *)
+
+val stable_config : Instance.t -> Config.t
+(** O(Σ degree) over the acceptance lists. *)
+
+val stable_complete : b:int array -> int array array
+(** Fast path for a complete acceptance graph with identity ranking (§4's
+    toy model): returns the stable collaboration graph as adjacency arrays
+    without materialising the O(n²) acceptance graph.  [b.(i)] is the slot
+    budget of the rank-[i] peer.  O(n · max b) via a skip-list over
+    still-available peers. *)
+
+val stable_partners_array : Instance.t -> int array
+(** For 1-matching instances only: the mate of each peer, or [-1] when
+    unmatched.  Raises [Invalid_argument] if some budget exceeds 1. *)

@@ -1,0 +1,131 @@
+type instance = {
+  resident_prefs : int array array;
+  hospital_prefs : int array array;
+  capacity : int array;
+}
+
+type matching = { hospital_of : int array; residents_of : int list array }
+
+let validate inst =
+  let n_res = Array.length inst.resident_prefs in
+  let n_hosp = Array.length inst.hospital_prefs in
+  if Array.length inst.capacity <> n_hosp then
+    invalid_arg "Hospital_residents: capacity array size mismatch";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Hospital_residents: negative capacity")
+    inst.capacity;
+  let check name prefs bound =
+    Array.iter
+      (fun row ->
+        let seen = Hashtbl.create 8 in
+        Array.iter
+          (fun x ->
+            if x < 0 || x >= bound then invalid_arg (name ^ ": entry out of range");
+            if Hashtbl.mem seen x then invalid_arg (name ^ ": duplicate entry");
+            Hashtbl.replace seen x ())
+          row)
+      prefs
+  in
+  check "Hospital_residents: resident_prefs" inst.resident_prefs n_hosp;
+  check "Hospital_residents: hospital_prefs" inst.hospital_prefs n_res;
+  (* Mutual acceptability. *)
+  let hosp_accepts = Array.map (fun row -> let h = Hashtbl.create 8 in Array.iteri (fun i r -> Hashtbl.replace h r i) row; h) inst.hospital_prefs in
+  Array.iteri
+    (fun r row ->
+      Array.iter
+        (fun h ->
+          if not (Hashtbl.mem hosp_accepts.(h) r) then
+            invalid_arg "Hospital_residents: acceptability not mutual")
+        row)
+    inst.resident_prefs;
+  hosp_accepts
+
+let solve inst =
+  let hosp_rank = validate inst in
+  let n_res = Array.length inst.resident_prefs in
+  let n_hosp = Array.length inst.hospital_prefs in
+  let hospital_of = Array.make n_res (-1) in
+  (* Hospital's held residents as a list sorted worst-first for O(1)
+     bumping. *)
+  let held = Array.make n_hosp [] in
+  let next_proposal = Array.make n_res 0 in
+  let rank h r = Hashtbl.find hosp_rank.(h) r in
+  let worse h r1 r2 = rank h r1 > rank h r2 in
+  let free = Queue.create () in
+  for r = 0 to n_res - 1 do
+    Queue.push r free
+  done;
+  while not (Queue.is_empty free) do
+    let r = Queue.pop free in
+    if next_proposal.(r) < Array.length inst.resident_prefs.(r) then begin
+      let h = inst.resident_prefs.(r).(next_proposal.(r)) in
+      next_proposal.(r) <- next_proposal.(r) + 1;
+      if List.length held.(h) < inst.capacity.(h) then begin
+        (* Insert keeping worst-first order. *)
+        let rec insert = function
+          | [] -> [ r ]
+          | x :: rest as all -> if worse h r x then r :: all else x :: insert rest
+        in
+        held.(h) <- insert held.(h);
+        hospital_of.(r) <- h
+      end
+      else begin
+        match held.(h) with
+        | worst :: rest when inst.capacity.(h) > 0 && worse h worst r ->
+            (* r displaces the worst held resident. *)
+            hospital_of.(worst) <- -1;
+            Queue.push worst free;
+            let rec insert = function
+              | [] -> [ r ]
+              | x :: tail as all -> if worse h r x then r :: all else x :: insert tail
+            in
+            held.(h) <- insert rest;
+            hospital_of.(r) <- h
+        | _ -> Queue.push r free
+      end
+    end
+  done;
+  let residents_of =
+    Array.mapi (fun h l -> List.sort (fun a b -> compare (rank h a) (rank h b)) l) held
+  in
+  { hospital_of; residents_of }
+
+let is_stable inst m =
+  let hosp_rank = validate inst in
+  let rank h r = Hashtbl.find hosp_rank.(h) r in
+  let res_rank =
+    Array.map
+      (fun row ->
+        let t = Hashtbl.create 8 in
+        Array.iteri (fun i h -> Hashtbl.replace t h i) row;
+        t)
+      inst.resident_prefs
+  in
+  let blocking = ref false in
+  Array.iteri
+    (fun r row ->
+      Array.iter
+        (fun h ->
+          let r_prefers_h =
+            match m.hospital_of.(r) with
+            | -1 -> true
+            | current -> Hashtbl.find res_rank.(r) h < Hashtbl.find res_rank.(r) current
+          in
+          if r_prefers_h then begin
+            let members = m.residents_of.(h) in
+            let has_room = List.length members < inst.capacity.(h) in
+            let prefers_r =
+              match List.rev members with
+              | [] -> false
+              | worst :: _ -> rank h r < rank h worst
+            in
+            if (has_room && inst.capacity.(h) > 0) || prefers_r then blocking := true
+          end)
+        row)
+    inst.resident_prefs;
+  not !blocking
+
+let unmatched_residents m =
+  let out = ref [] in
+  Array.iteri (fun r h -> if h < 0 then out := r :: !out) m.hospital_of;
+  List.rev !out

@@ -1,0 +1,31 @@
+(** Hospitals/Residents — capacitated bipartite deferred acceptance.
+
+    The bipartite ancestor of b-matching (Gale & Shapley 1962, college
+    admissions): residents each want one hospital, hospitals have
+    capacities.  Included as the classical capacitated baseline against
+    which the roommates-style machinery is cross-validated; with
+    incomplete lists, unmatched agents are allowed and the standard
+    stability notion applies. *)
+
+type instance = {
+  resident_prefs : int array array;
+      (** resident r's acceptable hospitals, most-preferred first *)
+  hospital_prefs : int array array;
+      (** hospital h's acceptable residents, most-preferred first *)
+  capacity : int array;  (** per-hospital capacity *)
+}
+
+type matching = {
+  hospital_of : int array;  (** resident -> hospital, or -1 *)
+  residents_of : int list array;  (** hospital -> residents, best first *)
+}
+
+val solve : instance -> matching
+(** Resident-proposing deferred acceptance: resident-optimal stable
+    matching, O(Σ list lengths).  Raises [Invalid_argument] on asymmetric
+    acceptability, duplicate entries or negative capacities. *)
+
+val is_stable : instance -> matching -> bool
+(** No resident–hospital pair prefers each other to their assignment. *)
+
+val unmatched_residents : matching -> int list

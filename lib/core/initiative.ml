@@ -1,0 +1,43 @@
+module Rng = Stratify_prng.Rng
+
+type strategy = Best_mate | Decremental | Random
+
+let strategy_name = function
+  | Best_mate -> "best-mate"
+  | Decremental -> "decremental"
+  | Random -> "random"
+
+type state = { cursor : int array }
+
+let create_state inst = { cursor = Array.make (Instance.n inst) 0 }
+
+let find_mate config state strategy rng p =
+  match strategy with
+  | Best_mate -> Blocking.best_blocking_mate config p
+  | Decremental -> (
+      match Blocking.blocking_mate_from config p ~start:state.cursor.(p) with
+      | None -> None
+      | Some (q, next) ->
+          state.cursor.(p) <- next;
+          Some q)
+  | Random ->
+      let row = Instance.acceptable (Config.instance config) p in
+      if Array.length row = 0 then None
+      else begin
+        let q = row.(Rng.int rng (Array.length row)) in
+        if Blocking.is_blocking config p q then Some q else None
+      end
+
+let perform config p q =
+  if not (Blocking.is_blocking config p q) then
+    invalid_arg "Initiative.perform: pair does not block";
+  if Config.free_slots config p <= 0 then ignore (Config.drop_worst config p);
+  if Config.free_slots config q <= 0 then ignore (Config.drop_worst config q);
+  Config.connect config p q
+
+let attempt config state strategy rng p =
+  match find_mate config state strategy rng p with
+  | None -> false
+  | Some q ->
+      perform config p q;
+      true

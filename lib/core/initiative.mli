@@ -1,0 +1,35 @@
+(** Initiatives — the decentralised rewiring moves of §3.
+
+    A peer [p] "takes the initiative" by proposing partnership to peers on
+    its acceptance list; the initiative is {e active} when it finds a
+    blocking mate [q], in which case both sides drop their worst mate if
+    full and the pair connects.  Three scanning strategies from the paper:
+
+    - {e best mate}: [p] knows everyone's rank and availability and jumps
+      straight to the best blocking mate;
+    - {e decremental}: [p] knows ranks but not availability, so it scans
+      its list circularly from the last peer it asked;
+    - {e random}: [p] knows nothing and asks a single uniform peer. *)
+
+type strategy = Best_mate | Decremental | Random
+
+val strategy_name : strategy -> string
+
+type state
+(** Per-peer cursors used by the decremental strategy. *)
+
+val create_state : Instance.t -> state
+
+val find_mate : Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> int option
+(** The blocking mate peer [p] would reach under the given strategy, if
+    any, without modifying the configuration (advances decremental
+    cursors). *)
+
+val perform : Config.t -> int -> int -> unit
+(** Execute the pairing move of an active initiative: each side drops its
+    worst mate if it has no free slot, then the two connect.  The pair must
+    actually block (checked). *)
+
+val attempt : Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> bool
+(** [find_mate] then [perform]; returns whether the initiative was
+    active. *)

@@ -1,0 +1,63 @@
+module Undirected = Stratify_graph.Undirected
+
+type t = {
+  adj : int array array;  (* by rank label; each row increasing (= best first) *)
+  b : int array;  (* by rank label *)
+  ranking : Ranking.t;
+  slot_total : int;
+}
+
+let build ~ranking ~raw_adj ~b =
+  let n = Array.length raw_adj in
+  if Array.length b <> n then invalid_arg "Instance: |b| must equal the number of peers";
+  Array.iter (fun k -> if k < 0 then invalid_arg "Instance: negative slot budget") b;
+  if Ranking.size ranking <> n then invalid_arg "Instance: ranking size mismatch";
+  (* Relabel peers by rank: row r of [adj] lists the ranks acceptable to the
+     peer of rank r, in increasing rank order. *)
+  let adj =
+    Array.init n (fun r ->
+        let id = Ranking.peer_at ranking r in
+        let row = Array.map (fun w -> Ranking.rank ranking w) raw_adj.(id) in
+        Array.sort compare row;
+        row)
+  in
+  let b_by_rank = Array.init n (fun r -> b.(Ranking.peer_at ranking r)) in
+  { adj; b = b_by_rank; ranking; slot_total = Array.fold_left ( + ) 0 b }
+
+let create ?ranking ~graph ~b () =
+  let n = Undirected.vertex_count graph in
+  let ranking = match ranking with Some r -> r | None -> Ranking.identity n in
+  build ~ranking ~raw_adj:(Undirected.adjacency_arrays graph) ~b
+
+let of_adjacency ?ranking ~adj ~b () =
+  let n = Array.length adj in
+  let ranking = match ranking with Some r -> r | None -> Ranking.identity n in
+  Array.iteri
+    (fun u row ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Instance.of_adjacency: vertex out of range";
+          if v = u then invalid_arg "Instance.of_adjacency: self-loop")
+        row)
+    adj;
+  build ~ranking ~raw_adj:adj ~b
+
+let n t = Array.length t.adj
+let slots t p = t.b.(p)
+let slot_total t = t.slot_total
+let acceptable t p = t.adj.(p)
+let degree t p = Array.length t.adj.(p)
+
+let accepts t p q =
+  let row = t.adj.(p) in
+  let lo = ref 0 and hi = ref (Array.length row - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = row.(mid) in
+    if x = q then found := true else if x < q then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let rank_to_id t r = Ranking.peer_at t.ranking r
+let id_to_rank t id = Ranking.rank t.ranking id

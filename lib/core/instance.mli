@@ -1,0 +1,50 @@
+(** A global-ranking b-matching instance (§2 of the paper).
+
+    Bundles the three ingredients of the model: an {e acceptance graph}
+    (who may collaborate with whom — symmetric), a {e global ranking}
+    [S(p)], and per-peer {e slot budgets} [b(p)].  Internally, peers are
+    relabelled by rank so that peer [0] is the best; acceptance lists are
+    stored best-first, which every algorithm in this library exploits. *)
+
+type t
+
+val create :
+  ?ranking:Ranking.t ->
+  graph:Stratify_graph.Undirected.t ->
+  b:int array ->
+  unit ->
+  t
+(** Build an instance.  [b.(p)] is peer [p]'s slot budget (must be
+    non-negative).  [ranking] defaults to the identity ranking (peer id =
+    rank), the convention of all the paper's experiments.  Vertices of
+    [graph] are peer ids. *)
+
+val of_adjacency : ?ranking:Ranking.t -> adj:int array array -> b:int array -> unit -> t
+(** Same, from frozen adjacency arrays (must be symmetric; not checked
+    beyond bounds). *)
+
+val n : t -> int
+(** Number of peers. *)
+
+val slots : t -> int -> int
+(** Slot budget of a peer (by rank label). *)
+
+val slot_total : t -> int
+(** [B = Σ b(p)] — the bound of Theorem 1 is [B/2] initiatives. *)
+
+val acceptable : t -> int -> int array
+(** Acceptance list of a peer, best-ranked first.  Peers are rank labels:
+    [0] is the globally best peer. *)
+
+val accepts : t -> int -> int -> bool
+(** Symmetric acceptability test (binary search, O(log degree)). *)
+
+val degree : t -> int -> int
+(** Acceptance-list length. *)
+
+val rank_to_id : t -> int -> int
+(** Translate a rank label back to the original peer id of the input
+    graph. *)
+
+val id_to_rank : t -> int -> int
+(** Translate an original peer id to its rank label. *)

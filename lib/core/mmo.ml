@@ -1,0 +1,25 @@
+let of_adjacency adj =
+  let n = Array.length adj in
+  if n = 0 then 0.
+  else begin
+    let total = ref 0 in
+    Array.iteri
+      (fun peer mates ->
+        let worst = Array.fold_left (fun acc q -> max acc (abs (q - peer))) 0 mates in
+        total := !total + worst)
+      adj;
+    float_of_int !total /. float_of_int n
+  end
+
+let closed_form b0 =
+  if b0 <= 0 then 0.
+  else begin
+    let k = b0 + 1 in
+    let total = ref 0 in
+    for i = 1 to k do
+      total := !total + max (i - 1) (k - i)
+    done;
+    float_of_int !total /. float_of_int k
+  end
+
+let asymptote b0 = 0.75 *. float_of_int b0

@@ -1,0 +1,13 @@
+module Dist = Stratify_prng.Dist
+
+let constant ~n ~b0 =
+  if b0 < 0 then invalid_arg "Normal_b.constant: negative budget";
+  Array.make n b0
+
+let rounded_normal rng ~n ~mean ~sigma =
+  Array.init n (fun _ -> Dist.rounded_positive_normal rng ~mean ~sigma)
+
+let with_extra b ~peer =
+  let out = Array.copy b in
+  out.(peer) <- out.(peer) + 1;
+  out

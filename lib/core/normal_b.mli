@@ -1,0 +1,15 @@
+(** Slot-budget laws for §4's variable b-matching.
+
+    The paper's phase-transition study draws each budget from a rounded
+    normal [N(b̄, σ²)] ("all samples are rounded to the nearest positive
+    integer"). *)
+
+val constant : n:int -> b0:int -> int array
+(** Everyone gets [b0] slots. *)
+
+val rounded_normal : Stratify_prng.Rng.t -> n:int -> mean:float -> sigma:float -> int array
+(** Budget array sampled i.i.d. from the rounded positive normal. *)
+
+val with_extra : int array -> peer:int -> int array
+(** Copy with one extra slot granted to [peer] — the Fig 5 perturbation
+    that reconnects the Fig 4 clusters. *)

@@ -1,0 +1,62 @@
+module Discrete = Stratify_stats.Discrete
+
+let sweep ~n ~p ~f =
+  if p < 0. || p > 1. then invalid_arg "One_matching.sweep: p must be in [0,1]";
+  (* col_acc.(j) = Σ_{k<i} D(k,j), maintained across rows; by symmetry it
+     is also Σ_{k<i} D(j,k), the second factor of the recurrence. *)
+  let col_acc = Array.make n 0. in
+  for i = 0 to n - 1 do
+    (* row_acc = Σ_{k<j} D(i,k); at j = i+1 this is Σ_{k<i} D(i,k) =
+       col_acc.(i) (D(i,i) = 0). *)
+    let row_acc = ref col_acc.(i) in
+    for j = i + 1 to n - 1 do
+      let d = p *. (1. -. !row_acc) *. (1. -. col_acc.(j)) in
+      f i j d;
+      row_acc := !row_acc +. d;
+      col_acc.(j) <- col_acc.(j) +. d
+    done
+  done
+
+let mate_distributions ~n ~p ~peers =
+  let index = Hashtbl.create 8 in
+  Array.iteri
+    (fun slot peer ->
+      if peer < 0 || peer >= n then invalid_arg "One_matching.mate_distributions: peer out of range";
+      Hashtbl.replace index peer slot)
+    peers;
+  let rows = Array.map (fun _ -> Array.make n 0.) peers in
+  sweep ~n ~p ~f:(fun i j d ->
+      (match Hashtbl.find_opt index i with Some s -> rows.(s).(j) <- d | None -> ());
+      match Hashtbl.find_opt index j with Some s -> rows.(s).(i) <- d | None -> ());
+  Array.map Discrete.of_weights rows
+
+let match_probability ~n ~p ~peer =
+  let total = ref 0. in
+  sweep ~n ~p ~f:(fun i j d -> if i = peer || j = peer then total := !total +. d);
+  !total
+
+let expectations ~n ~p ~value =
+  let e = Array.make n 0. and mass = Array.make n 0. in
+  sweep ~n ~p ~f:(fun i j d ->
+      e.(i) <- e.(i) +. (d *. value j);
+      e.(j) <- e.(j) +. (d *. value i);
+      mass.(i) <- mass.(i) +. d;
+      mass.(j) <- mass.(j) +. d);
+  (e, mass)
+
+let matrix ~n ~p =
+  let m = Array.make_matrix n n 0. in
+  sweep ~n ~p ~f:(fun i j d ->
+      m.(i).(j) <- d;
+      m.(j).(i) <- d);
+  m
+
+let expected_offsets ~n ~p =
+  let weighted = Array.make n 0. and mass = Array.make n 0. in
+  sweep ~n ~p ~f:(fun i j d ->
+      let gap = float_of_int (j - i) in
+      weighted.(i) <- weighted.(i) +. (d *. gap);
+      weighted.(j) <- weighted.(j) +. (d *. gap);
+      mass.(i) <- mass.(i) +. d;
+      mass.(j) <- mass.(j) +. d);
+  Array.init n (fun i -> if mass.(i) <= 0. then 0. else weighted.(i) /. mass.(i))

@@ -1,0 +1,40 @@
+(** The independent 1-matching model — Algorithm 2 of the paper.
+
+    Under the Erdős–Rényi acceptance graph [G(n,p)] and Assumption 1
+    (independence of the two "not matched with better" events), the
+    probability [D(i,j)] that peers [i] and [j] are mates satisfies
+
+    {v D(i,j) = p · (1 − Σ_{k<j} D(i,k)) · (1 − Σ_{k<i} D(j,k)) v}
+
+    computed here row by row with O(n) running prefix sums — O(n²) time,
+    O(n) memory — so the [n = 5000] setting of Fig 8 runs in milliseconds
+    instead of the paper's Matlab scripts.  Peers are 0-based ranks
+    (0 = best). *)
+
+val sweep : n:int -> p:float -> f:(int -> int -> float -> unit) -> unit
+(** Visit every pair [(i, j)], [i < j], with its probability [D(i,j)], in
+    lexicographic order.  The visitor must not assume any storage — this is
+    the O(n)-memory primitive the rest of the module builds on. *)
+
+val mate_distributions : n:int -> p:float -> peers:int array -> Stratify_stats.Discrete.t array
+(** The full rows [D(peer, ·)] for selected peers (Fig 8's curves).  Each
+    row is a sub-probability: the missing mass is the probability of ending
+    up unmatched. *)
+
+val match_probability : n:int -> p:float -> peer:int -> float
+(** [Σ_j D(peer, j)] — tends to 1 as peers are added below (Lemma 1), and
+    equals 1/2 for the worst peer in the [n → ∞] limit. *)
+
+val expectations : n:int -> p:float -> value:(int -> float) -> float array * float array
+(** [(e, mass)] with [e.(i) = Σ_j D(i,j)·value(j)] and
+    [mass.(i) = Σ_j D(i,j)] — the §6 download model in one pass. *)
+
+val matrix : n:int -> p:float -> float array array
+(** Dense [D]; O(n²) memory, for tests and small [n]. *)
+
+val expected_offsets : n:int -> p:float -> float array
+(** Per-peer expected |mate rank − own rank| conditional on being matched
+    — the model-side view of §4's stratification depth.  For the best
+    peer this is exactly the geometric mean [1/p]; for mid-rank peers it
+    converges to the fluid-limit value, making the "crucial parameter is
+    d" statement quantitative (offsets scale as [n/d]). *)

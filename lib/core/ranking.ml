@@ -1,0 +1,43 @@
+type t = {
+  score : float array;
+  rank_of : int array;  (* peer id -> rank, 0 = best *)
+  peer_at : int array;  (* rank -> peer id *)
+  identity : bool;
+}
+
+exception Ties of int * int
+
+let of_scores score =
+  let n = Array.length score in
+  let peer_at = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare score.(b) score.(a) in
+      if c <> 0 then c else compare a b)
+    peer_at;
+  (* Detect ties between rank-adjacent peers (sorting makes adjacency
+     sufficient). *)
+  for r = 0 to n - 2 do
+    if score.(peer_at.(r)) = score.(peer_at.(r + 1)) then
+      raise (Ties (peer_at.(r), peer_at.(r + 1)))
+  done;
+  let rank_of = Array.make n 0 in
+  Array.iteri (fun r p -> rank_of.(p) <- r) peer_at;
+  let identity = Array.for_all (fun p -> rank_of.(p) = p) (Array.init n (fun i -> i)) in
+  { score = Array.copy score; rank_of; peer_at; identity }
+
+let identity n =
+  {
+    score = Array.init n (fun i -> float_of_int (-i));
+    rank_of = Array.init n (fun i -> i);
+    peer_at = Array.init n (fun i -> i);
+    identity = true;
+  }
+
+let size t = Array.length t.rank_of
+let rank t p = t.rank_of.(p)
+let peer_at t r = t.peer_at.(r)
+let score t p = t.score.(p)
+let prefers t p q = t.rank_of.(p) < t.rank_of.(q)
+let compare_peers t p q = compare t.rank_of.(p) t.rank_of.(q)
+let is_identity t = t.identity

@@ -1,0 +1,225 @@
+type outcome = Stable of int array | No_stable
+
+(* Working state: each person's preference list with lazy deletion.  The
+   invariant maintained after phase 1 and restored after every rotation
+   elimination is the classic one: [q] is first on [p]'s list iff [p] is
+   last on [q]'s list. *)
+type state = {
+  pref : int array array;
+  rank : int array array;  (* rank.(p).(q) = position of q in pref.(p), -1 if unacceptable *)
+  active : bool array array;  (* active.(p).(i) — entry i of pref.(p) still alive *)
+  len : int array;
+  lo : int array;  (* lower cursor for first-entry scans *)
+  hi : int array;  (* upper cursor for last-entry scans *)
+}
+
+let make_state t =
+  let n = Tan.size t in
+  let pref = Array.init n (Tan.preference_list t) in
+  let rank =
+    Array.init n (fun p ->
+        let row = Array.make n (-1) in
+        Array.iteri (fun i q -> row.(q) <- i) pref.(p);
+        row)
+  in
+  {
+    pref;
+    rank;
+    active = Array.map (fun row -> Array.make (Array.length row) true) pref;
+    len = Array.map Array.length pref;
+    lo = Array.make n 0;
+    hi = Array.map (fun row -> Array.length row - 1) pref;
+  }
+
+let first st p =
+  let row = st.pref.(p) and alive = st.active.(p) in
+  let i = ref st.lo.(p) in
+  while !i < Array.length row && not alive.(!i) do
+    incr i
+  done;
+  st.lo.(p) <- !i;
+  if !i >= Array.length row then None else Some row.(!i)
+
+let second st p =
+  let row = st.pref.(p) and alive = st.active.(p) in
+  match first st p with
+  | None -> None
+  | Some _ ->
+      let i = ref (st.lo.(p) + 1) in
+      while !i < Array.length row && not alive.(!i) do
+        incr i
+      done;
+      if !i >= Array.length row then None else Some row.(!i)
+
+let last st p =
+  let row = st.pref.(p) and alive = st.active.(p) in
+  let i = ref st.hi.(p) in
+  while !i >= 0 && not alive.(!i) do
+    decr i
+  done;
+  st.hi.(p) <- !i;
+  if !i < 0 then None else Some row.(!i)
+
+(* Remove the mutual acceptability of p and q (both directions). *)
+let delete_pair st p q =
+  let ip = st.rank.(p).(q) in
+  if ip >= 0 && st.active.(p).(ip) then begin
+    st.active.(p).(ip) <- false;
+    st.len.(p) <- st.len.(p) - 1
+  end;
+  let iq = st.rank.(q).(p) in
+  if iq >= 0 && st.active.(q).(iq) then begin
+    st.active.(q).(iq) <- false;
+    st.len.(q) <- st.len.(q) - 1
+  end
+
+(* Delete from q's list every active entry strictly worse than p. *)
+let truncate_after st q p =
+  let row = st.pref.(q) and alive = st.active.(q) in
+  let cut = st.rank.(q).(p) in
+  for i = cut + 1 to Array.length row - 1 do
+    if alive.(i) then delete_pair st q row.(i)
+  done
+
+exception Empty_list
+
+(* Phase 1: proposal sequence.  held.(q) is the proposer q currently
+   holds, or -1. *)
+let phase1 st =
+  let n = Array.length st.pref in
+  let held = Array.make n (-1) in
+  let engaged_to = Array.make n (-1) in
+  (* engaged_to.(p) = the q holding p's proposal *)
+  let rec propose p =
+    match first st p with
+    | None -> () (* p exhausted its list: single in every stable matching *)
+    | Some q ->
+        let r = held.(q) in
+        if r < 0 then begin
+          held.(q) <- p;
+          engaged_to.(p) <- q
+        end
+        else if st.rank.(q).(p) < st.rank.(q).(r) then begin
+          held.(q) <- p;
+          engaged_to.(p) <- q;
+          engaged_to.(r) <- -1;
+          delete_pair st r q;
+          propose r
+        end
+        else begin
+          delete_pair st p q;
+          propose p
+        end
+  in
+  for p = 0 to n - 1 do
+    if engaged_to.(p) < 0 then propose p
+  done;
+  (* Reduction: each q keeps no one worse than the proposer it holds. *)
+  for q = 0 to n - 1 do
+    if held.(q) >= 0 then truncate_after st q held.(q)
+  done
+
+(* Phase 2: find and eliminate rotations until all lists have length <= 1.
+   Raises Empty_list if an engaged person's list empties (no stable
+   matching). *)
+let phase2 st =
+  let n = Array.length st.pref in
+  let some_exn = function Some x -> x | None -> raise Empty_list in
+  let find_long () =
+    let rec go p = if p >= n then None else if st.len.(p) >= 2 then Some p else go (p + 1) in
+    go 0
+  in
+  let rec loop () =
+    match find_long () with
+    | None -> ()
+    | Some start ->
+        (* Chase p -> last(second(p)) until a person repeats; the cycle is
+           the rotation's x-sequence. *)
+        let seen_at = Array.make n (-1) in
+        let seq = ref [] in
+        let rec chase p steps =
+          if seen_at.(p) >= 0 then seen_at.(p)
+          else begin
+            seen_at.(p) <- steps;
+            seq := p :: !seq;
+            let y = some_exn (second st p) in
+            let p' = some_exn (last st y) in
+            chase p' (steps + 1)
+          end
+        in
+        let cycle_start = chase start 0 in
+        let xs = Array.of_list (List.rev !seq) in
+        let xs = Array.sub xs cycle_start (Array.length xs - cycle_start) in
+        let k = Array.length xs in
+        (* Rotation pairs: (x_i, y_i) with y_i = first(x_i); successor
+           y_{i+1} = second(x_i). *)
+        let ys = Array.map (fun x -> some_exn (first st x)) xs in
+        let seconds = Array.map (fun x -> some_exn (second st x)) xs in
+        for i = 0 to k - 1 do
+          delete_pair st xs.(i) ys.(i)
+        done;
+        for i = 0 to k - 1 do
+          (* x_i now proposes to its old second = y_{i+1}; that person
+             truncates below x_i. *)
+          let y' = seconds.(i) in
+          if st.rank.(y').(xs.(i)) < 0 || not st.active.(y').(st.rank.(y').(xs.(i))) then
+            raise Empty_list;
+          truncate_after st y' xs.(i)
+        done;
+        (* Any engaged person left with an empty list kills existence. *)
+        Array.iteri
+          (fun i x ->
+            ignore i;
+            if st.len.(x) = 0 then raise Empty_list)
+          xs;
+        Array.iter (fun y -> if st.len.(y) = 0 then raise Empty_list) ys;
+        loop ()
+  in
+  loop ()
+
+let solve t =
+  let st = make_state t in
+  phase1 st;
+  match phase2 st with
+  | () ->
+      let n = Tan.size t in
+      let mate = Array.make n (-1) in
+      let consistent = ref true in
+      for p = 0 to n - 1 do
+        match first st p with
+        | None -> ()
+        | Some q -> (
+            mate.(p) <- q;
+            match first st q with
+            | Some p' when p' = p -> ()
+            | _ -> consistent := false)
+      done;
+      if !consistent then Stable mate else No_stable
+  | exception Empty_list -> No_stable
+
+let is_stable_matching t mate =
+  let n = Tan.size t in
+  if Array.length mate <> n then false
+  else begin
+    let ok = ref true in
+    (* Symmetry and acceptability. *)
+    for p = 0 to n - 1 do
+      let q = mate.(p) in
+      if q >= 0 then begin
+        if q >= n || mate.(q) <> p || not (Tan.accepts t p q) then ok := false
+      end
+    done;
+    (* Blocking pairs. *)
+    if !ok then
+      for p = 0 to n - 1 do
+        Array.iter
+          (fun q ->
+            if q > p && Tan.accepts t p q && mate.(p) <> q then begin
+              let p_wants = mate.(p) < 0 || Tan.prefers t p q mate.(p) in
+              let q_wants = mate.(q) < 0 || Tan.prefers t q p mate.(q) in
+              if p_wants && q_wants then ok := false
+            end)
+          (Tan.preference_list t p)
+      done;
+    !ok
+  end

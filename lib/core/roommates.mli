@@ -1,0 +1,28 @@
+(** Irving's stable-roommates algorithm (1985), with incomplete lists.
+
+    The 1-matching problem with {e arbitrary} (not ranking-induced)
+    preferences — reference [7] of the paper.  Unlike the global-ranking
+    case, a stable matching may not exist; this algorithm decides existence
+    and produces one in O(n²) when it does (phase-1 proposal sequence, then
+    phase-2 rotation eliminations).
+
+    Stability here is the stable-roommates-with-incomplete-lists (SRI)
+    notion, identical to the paper's blocking-pair definition with
+    [b ≡ 1]: a matching is stable when no mutually acceptable unmatched
+    pair exists in which each member is single or prefers the other to its
+    current mate. *)
+
+type outcome =
+  | Stable of int array
+      (** [mate.(p)] is [p]'s partner, or [-1] for peers single in every
+          stable matching. *)
+  | No_stable
+      (** No stable matching exists (odd-party instances, Tan's odd
+          preference cycles …). *)
+
+val solve : Tan.t -> outcome
+(** Run both phases on a preference system (see {!Tan.of_lists}). *)
+
+val is_stable_matching : Tan.t -> int array -> bool
+(** Checker: [mate] is symmetric, respects acceptability, and admits no
+    blocking pair. *)

@@ -1,0 +1,103 @@
+module Profile = Stratify_bandwidth.Profile
+module Series = Stratify_stats.Series
+module Discrete = Stratify_stats.Discrete
+
+type params = { n : int; b0 : int; d : float; profile : Profile.t }
+
+type result = {
+  upload : float array;
+  upload_per_slot : float array;
+  expected_download : float array;
+  expected_mates : float array;
+  ratio : float array;
+}
+
+let compute { n; b0; d; profile } =
+  if n < 2 then invalid_arg "Share_ratio.compute: need n >= 2";
+  let upload = Profile.rank_bandwidths profile ~n in
+  let upload_per_slot = Array.map (fun u -> u /. float_of_int b0) upload in
+  let p = Float.min 1. (d /. float_of_int (n - 1)) in
+  let expected_download, expected_mates =
+    B_matching.expectations ~n ~p ~b0 ~value:(fun j -> upload_per_slot.(j))
+  in
+  let ratio = Array.mapi (fun i dl -> dl /. upload.(i)) expected_download in
+  { upload; upload_per_slot; expected_download; expected_mates; ratio }
+
+let to_series r =
+  let n = Array.length r.ratio in
+  (* Ranks are best-first = decreasing bandwidth; reverse for an
+     increasing x-axis. *)
+  let points = Array.init n (fun k ->
+      let i = n - 1 - k in
+      (r.upload_per_slot.(i), r.ratio.(i)))
+  in
+  Series.make "expected D/U ratio" points
+
+let best_peer_ratio r = r.ratio.(0)
+let worst_peer_ratio r = r.ratio.(Array.length r.ratio - 1)
+
+let ratio_near r ~bandwidth_per_slot =
+  let best_i = ref 0 and best_gap = ref infinity in
+  Array.iteri
+    (fun i ps ->
+      let gap = Float.abs (log ps -. log bandwidth_per_slot) in
+      if gap < !best_gap then begin
+        best_gap := gap;
+        best_i := i
+      end)
+    r.upload_per_slot;
+  r.ratio.(!best_i)
+
+let sweep_slots ?(population_b0 = 3) ~n ~d ~profile ~my_upload ~slots () =
+  let upload = Profile.rank_bandwidths profile ~n in
+  let pop_per_slot = Array.map (fun u -> u /. float_of_int population_b0) upload in
+  Array.map
+    (fun s ->
+      if s <= 0 then invalid_arg "Share_ratio.sweep_slots: slot counts must be positive";
+      let my_per_slot = my_upload /. float_of_int s in
+      (* The deviant's rank: how many population peers offer more per
+         slot.  Ranks are best-first so this count is the insertion
+         index. *)
+      let rank =
+        Array.fold_left (fun acc ps -> if ps > my_per_slot then acc + 1 else acc) 0 pop_per_slot
+      in
+      let rank = min rank (n - 1) in
+      let p = Float.min 1. (d /. float_of_int (n - 1)) in
+      let rows = B_matching.choice_distributions ~n ~p ~b0:population_b0 ~peer:rank in
+      (* The homogeneous model only describes choices 1..b0 of the
+         population; a deviant with more slots than that gets the full
+         b0 choices at its (lowered) rank and the surplus slots are not
+         credited — the reported ratio is a lower bound for s > b0,
+         which only strengthens the fewer-slots-win conclusion. *)
+      let download = ref 0. in
+      for c = 0 to min s population_b0 - 1 do
+        download := !download +. Discrete.expectation rows.(c) (fun j -> pop_per_slot.(j))
+      done;
+      (s, !download /. my_upload))
+    slots
+
+let sweep_slots_scaled ~n ~d ~profile ~my_upload ~slots =
+  let population_b0 = 3 in
+  let upload = Profile.rank_bandwidths profile ~n in
+  let pop_per_slot = Array.map (fun u -> u /. float_of_int population_b0) upload in
+  Array.map
+    (fun s ->
+      if s <= 0 then invalid_arg "Share_ratio.sweep_slots_scaled: slot counts must be positive";
+      let my_per_slot = my_upload /. float_of_int s in
+      let rank =
+        Array.fold_left (fun acc ps -> if ps > my_per_slot then acc + 1 else acc) 0 pop_per_slot
+      in
+      let rank = min rank (n - 1) in
+      let p = Float.min 1. (d /. float_of_int (n - 1)) in
+      let rows = B_matching.choice_distributions ~n ~p ~b0:population_b0 ~peer:rank in
+      let per_three_slots = ref 0. in
+      for c = 0 to min s population_b0 - 1 do
+        per_three_slots :=
+          !per_three_slots +. Discrete.expectation rows.(c) (fun j -> pop_per_slot.(j))
+      done;
+      let download =
+        if s <= population_b0 then !per_three_slots
+        else !per_three_slots *. (float_of_int s /. float_of_int population_b0)
+      in
+      (s, download /. my_upload))
+    slots

@@ -1,0 +1,70 @@
+(** The BitTorrent Tit-for-Tat application (§6, Fig 11).
+
+    In the post-flash-crowd regime, content availability is not binding
+    and TFT exchanges are driven by bandwidth alone: peers rank each other
+    by the upload bandwidth a partner devotes to one slot, which — with a
+    common slot count [b0] — induces a global ranking by upload capacity.
+    Feeding the measured upstream distribution into the independent
+    b₀-matching model yields each peer's expected download and hence its
+    expected download/upload ("share") ratio. *)
+
+type params = {
+  n : int;  (** population discretisation (ranks) *)
+  b0 : int;  (** TFT slots per peer (paper: 3, plus one optimistic) *)
+  d : float;  (** expected number of acceptable peers (paper: 20) *)
+  profile : Stratify_bandwidth.Profile.t;
+}
+
+type result = {
+  upload : float array;  (** total upload bandwidth by rank, best first *)
+  upload_per_slot : float array;  (** upload / b0 — Fig 11's x-axis *)
+  expected_download : float array;  (** Σ_c Σ_j D_c(i,j) · per-slot(j) *)
+  expected_mates : float array;  (** Σ_c Σ_j D_c(i,j) (≤ b0) *)
+  ratio : float array;  (** expected_download / upload — Fig 11's y-axis *)
+}
+
+val compute : params -> result
+
+val to_series : result -> Stratify_stats.Series.t
+(** Fig 11's curve: (upload per slot, expected D/U ratio), best peer
+    last (increasing x). *)
+
+val best_peer_ratio : result -> float
+val worst_peer_ratio : result -> float
+
+val ratio_near : result -> bandwidth_per_slot:float -> float
+(** Ratio of the peer whose per-slot upload is closest to the given
+    value — used to probe density peaks. *)
+
+val sweep_slots :
+  ?population_b0:int ->
+  n:int ->
+  d:float ->
+  profile:Stratify_bandwidth.Profile.t ->
+  my_upload:float ->
+  slots:int array ->
+  unit ->
+  (int * float) array
+(** The rational-peer experiment behind the paper's 4-slot discussion: a
+    peer with fixed total upload [my_upload] varies its own slot count
+    (everyone else keeps [population_b0], default 3); returns (slot count,
+    expected D/U).
+    Fewer slots raise per-slot bandwidth, hence rank, hence ratio — the
+    race to the 1-slot Nash equilibrium.  For [s > population_b0] the
+    homogeneous model cannot credit the surplus slots, so the reported
+    ratio is a lower bound there (which only reinforces the
+    conclusion). *)
+
+val sweep_slots_scaled :
+  n:int ->
+  d:float ->
+  profile:Stratify_bandwidth.Profile.t ->
+  my_upload:float ->
+  slots:int array ->
+  (int * float) array
+(** Like {!sweep_slots} but crediting a deviant with [s > 3] slots by
+    replication: its [s] slots behave like [s/3] independent 3-slot peers
+    at its per-slot rank, so download scales with [s/3] instead of being
+    truncated.  This is the right reading of §6's "best peers add
+    connections until their per-slot bandwidth matches the peers below" —
+    the ratio climbs towards 1 as per-slot rates equalise. *)

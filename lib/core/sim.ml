@@ -1,0 +1,98 @@
+module Rng = Stratify_prng.Rng
+module Series = Stratify_stats.Series
+
+type t = {
+  instance : Instance.t;
+  config : Config.t;
+  state : Initiative.state;
+  strategy : Initiative.strategy;
+  rng : Rng.t;
+  mutable steps : int;
+  mutable active : int;
+}
+
+let create ?start ?(strategy = Initiative.Best_mate) instance rng =
+  let config = match start with Some c -> Config.copy c | None -> Config.empty instance in
+  {
+    instance;
+    config;
+    state = Initiative.create_state instance;
+    strategy;
+    rng;
+    steps = 0;
+    active = 0;
+  }
+
+let config t = t.config
+let steps t = t.steps
+let active_count t = t.active
+
+let step t =
+  let n = Instance.n t.instance in
+  let p = Rng.int t.rng n in
+  t.steps <- t.steps + 1;
+  let was_active = Initiative.attempt t.config t.state t.strategy t.rng p in
+  if was_active then t.active <- t.active + 1;
+  was_active
+
+let run_units t units =
+  let n = Instance.n t.instance in
+  for _ = 1 to units * n do
+    ignore (step t)
+  done
+
+let disorder_trajectory t ~stable ~units ~samples_per_unit =
+  let n = Instance.n t.instance in
+  let stride = max 1 (n / samples_per_unit) in
+  let total_steps = units * n in
+  let points = ref [ (0., Disorder.disorder t.config ~stable) ] in
+  let done_steps = ref 0 in
+  while !done_steps < total_steps do
+    let burst = min stride (total_steps - !done_steps) in
+    for _ = 1 to burst do
+      ignore (step t)
+    done;
+    done_steps := !done_steps + burst;
+    let x = float_of_int !done_steps /. float_of_int n in
+    points := (x, Disorder.disorder t.config ~stable) :: !points
+  done;
+  Series.make "disorder" (Array.of_list (List.rev !points))
+
+let run_until_stable t ~stable ~max_units =
+  let n = Instance.n t.instance in
+  let limit = max_units * n in
+  let start_steps = t.steps in
+  let rec go () =
+    if Config.equal t.config stable then Some (t.steps - start_steps)
+    else if t.steps - start_steps >= limit then None
+    else begin
+      ignore (step t);
+      go ()
+    end
+  in
+  go ()
+
+let count_active_to_stability instance ~strategy rng ~max_steps =
+  let t = create ~strategy instance rng in
+  let stable = Greedy.stable_config instance in
+  let rec go () =
+    if Config.equal t.config stable then Some t.active
+    else if t.steps >= max_steps then None
+    else begin
+      ignore (step t);
+      go ()
+    end
+  in
+  go ()
+
+let optimal_schedule instance =
+  let pairs = ref [] in
+  Config.iter_pairs (fun p q -> pairs := (p, q) :: !pairs) (Greedy.stable_config instance);
+  (* Algorithm 1 creates connections best-peer-first; iter_pairs yields
+     them sorted by (p, q), which is exactly that order. *)
+  List.rev !pairs
+
+let replay_schedule instance schedule =
+  let config = Config.empty instance in
+  List.iter (fun (p, q) -> Initiative.perform config p q) schedule;
+  config

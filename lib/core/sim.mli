@@ -1,0 +1,56 @@
+(** Round-based initiative simulation (§3's convergence experiments).
+
+    Each step picks a uniformly random peer which attempts one initiative.
+    [n] consecutive steps form one {e base unit} ("one expected initiative
+    per peer"), the time axis of Figs 1–3. *)
+
+type t
+
+val create :
+  ?start:Config.t ->
+  ?strategy:Initiative.strategy ->
+  Instance.t ->
+  Stratify_prng.Rng.t ->
+  t
+(** Defaults: start from the empty configuration with the best-mate
+    strategy (the paper's setting). *)
+
+val config : t -> Config.t
+val steps : t -> int
+(** Initiatives attempted so far (active or not). *)
+
+val active_count : t -> int
+(** Active initiatives so far. *)
+
+val step : t -> bool
+(** One initiative by a random peer; [true] when active. *)
+
+val run_units : t -> int -> unit
+(** Advance by whole base units ([n] steps each). *)
+
+val disorder_trajectory :
+  t -> stable:Config.t -> units:int -> samples_per_unit:int -> Stratify_stats.Series.t
+(** Advance [units] base units, recording the disorder after every
+    [n/samples_per_unit] steps.  The series' x-axis is in base units and
+    includes the initial point at x=0. *)
+
+val run_until_stable : t -> stable:Config.t -> max_units:int -> int option
+(** Advance until the configuration equals [stable]; returns the number of
+    steps taken, or [None] if [max_units] base units elapse first. *)
+
+val count_active_to_stability :
+  Instance.t -> strategy:Initiative.strategy -> Stratify_prng.Rng.t -> max_steps:int -> int option
+(** From the empty configuration, the number of {e active} initiatives
+    performed before reaching the stable configuration (Theorem 1 says this
+    is finite on every active sequence, and [B/2] is achievable). *)
+
+val optimal_schedule : Instance.t -> (int * int) list
+(** Theorem 1's constructive half: an explicit sequence of initiatives —
+    each one active when played in order from the empty configuration —
+    that reaches the stable configuration in exactly its number of
+    collaborations (≤ B/2).  It is Algorithm 1's connection order. *)
+
+val replay_schedule : Instance.t -> (int * int) list -> Config.t
+(** Execute a schedule with {!Initiative.perform} from the empty
+    configuration (raises if some step does not block — i.e. if the
+    schedule is not made of active initiatives). *)

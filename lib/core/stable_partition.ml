@@ -1,0 +1,118 @@
+(* [perm.(x)] is x's successor in the partition; perm.(x) = x means x is a
+   single (a party of size one). *)
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  let ok = ref true in
+  Array.iter
+    (fun y ->
+      if y < 0 || y >= n || seen.(y) then ok := false else seen.(y) <- true)
+    perm;
+  !ok
+
+let inverse perm =
+  let n = Array.length perm in
+  let inv = Array.make n 0 in
+  Array.iteri (fun x y -> inv.(y) <- x) perm;
+  inv
+
+(* Does x prefer candidate y to its current predecessor?  A single prefers
+   any acceptable peer; an unacceptable candidate is never preferred. *)
+let prefers_to_predecessor t perm inv x y =
+  if not (Tan.accepts t x y) then false
+  else if perm.(x) = x then true
+  else begin
+    let pred = inv.(x) in
+    if pred = y then false else Tan.prefers t x y pred
+  end
+
+let is_stable_partition t perm =
+  let n = Tan.size t in
+  Array.length perm = n
+  && is_permutation perm
+  &&
+  let inv = inverse perm in
+  (* Condition 1: successors acceptable; strict improvement over the
+     predecessor on parties of size >= 3 (for pairs the successor IS the
+     predecessor). *)
+  let condition1 = ref true in
+  Array.iteri
+    (fun x succ ->
+      if succ <> x then begin
+        if not (Tan.accepts t x succ) then condition1 := false
+        else if inv.(x) <> succ then begin
+          (* Parties of size >= 3: the predecessor must also be
+             acceptable, and strictly worse than the successor. *)
+          if not (Tan.accepts t x inv.(x)) then condition1 := false
+          else if not (Tan.prefers t x succ inv.(x)) then condition1 := false
+        end
+      end)
+    perm;
+  (* Condition 2: no blocking pair against predecessors. *)
+  let condition2 = ref true in
+  if !condition1 then
+    for x = 0 to n - 1 do
+      Array.iter
+        (fun y ->
+          if y > x && perm.(x) <> y && perm.(y) <> x then
+            if prefers_to_predecessor t perm inv x y && prefers_to_predecessor t perm inv y x
+            then condition2 := false)
+        (Tan.preference_list t x)
+    done;
+  !condition1 && !condition2
+
+let permutations n =
+  (* Lazily fold over all permutations of 0..n-1 via Heap-free recursive
+     construction in lexicographic order. *)
+  let rec build prefix remaining acc visit =
+    match remaining with
+    | [] -> visit acc (Array.of_list (List.rev prefix))
+    | _ ->
+        List.fold_left
+          (fun acc x ->
+            build (x :: prefix) (List.filter (fun y -> y <> x) remaining) acc visit)
+          acc remaining
+  in
+  fun acc visit -> build [] (List.init n (fun i -> i)) acc visit
+
+let find_brute t =
+  let n = Tan.size t in
+  if n > 8 then invalid_arg "Stable_partition.find_brute: n too large";
+  let exception Found of int array in
+  try
+    ignore
+      (permutations n ()
+         (fun () perm -> if is_stable_partition t perm then raise (Found perm)));
+    None
+  with Found perm -> Some perm
+
+let all_brute t =
+  let n = Tan.size t in
+  if n > 8 then invalid_arg "Stable_partition.all_brute: n too large";
+  List.rev
+    (permutations n [] (fun acc perm ->
+         if is_stable_partition t perm then perm :: acc else acc))
+
+let parties perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  let out = ref [] in
+  for start = 0 to n - 1 do
+    if not seen.(start) then begin
+      let cycle = ref [] in
+      let x = ref start in
+      while not seen.(!x) do
+        seen.(!x) <- true;
+        cycle := !x :: !cycle;
+        x := perm.(!x)
+      done;
+      out := List.rev !cycle :: !out
+    end
+  done;
+  List.rev !out
+
+let odd_parties perm =
+  List.filter (fun cycle -> List.length cycle >= 3 && List.length cycle mod 2 = 1) (parties perm)
+
+let predicts_stable_matching perm = odd_parties perm = []

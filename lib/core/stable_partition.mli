@@ -1,0 +1,39 @@
+(** Tan's stable partitions (1991) — the structure behind §3's
+    existence/uniqueness citation.
+
+    A {e stable partition} of a roommates instance is a permutation [π] of
+    the peers such that
+
+    - every non-fixed peer accepts its successor, and whenever
+      [π(x) ≠ π⁻¹(x)], [x] strictly prefers [π(x)] to [π⁻¹(x)];
+    - no pair [{x, y}] with [y ∉ {π(x), π⁻¹(x)}] exists in which each
+      member prefers the other to its predecessor (fixed points count as
+      preferring anyone acceptable).
+
+    Tan proved that a stable partition {e always} exists, that its cycle
+    type is an invariant of the instance, and that a stable matching
+    exists iff the stable partition has no {e odd party} (cycle of odd
+    length ≥ 3).  This module provides an exhaustive finder and checker
+    for small instances — the ground truth the Irving solver and the
+    paper's global-ranking arguments are cross-validated against. *)
+
+val is_stable_partition : Tan.t -> int array -> bool
+(** Check the two conditions above for a permutation ([perm.(x)] is
+    [x]'s successor; fixed points are singles). *)
+
+val find_brute : Tan.t -> int array option
+(** First stable partition in lexicographic permutation order, or [None]
+    (which Tan's theorem says cannot happen).  Factorial; for [n ≤ 8]. *)
+
+val all_brute : Tan.t -> int array list
+(** Every stable partition (for invariance tests). *)
+
+val parties : int array -> int list list
+(** Cycle decomposition of a permutation, each cycle as a peer list. *)
+
+val odd_parties : int array -> int list list
+(** Cycles of odd length ≥ 3. *)
+
+val predicts_stable_matching : int array -> bool
+(** No odd party: Tan's criterion for the existence of a stable
+    matching. *)

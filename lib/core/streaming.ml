@@ -1,0 +1,88 @@
+module Rng = Stratify_prng.Rng
+module Dist = Stratify_prng.Dist
+
+let delay_by_rank ~adjacency ~sources =
+  let n = Array.length adjacency in
+  let delay = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Streaming: source out of range";
+      if delay.(s) < 0 then begin
+        delay.(s) <- 0;
+        Queue.push s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if delay.(v) < 0 then begin
+          delay.(v) <- delay.(u) + 1;
+          Queue.push v queue
+        end)
+      adjacency.(u)
+  done;
+  delay
+
+type report = {
+  reachable : int;
+  unreachable : int;
+  mean_delay : float;
+  max_delay : int;
+  delay_histogram : int array;
+}
+
+let measure ~adjacency ~sources =
+  let delay = delay_by_rank ~adjacency ~sources in
+  let reachable = ref 0 and unreachable = ref 0 in
+  let total = ref 0 and non_source = ref 0 and max_delay = ref 0 in
+  Array.iter
+    (fun d ->
+      if d < 0 then incr unreachable
+      else begin
+        incr reachable;
+        if d > 0 then begin
+          total := !total + d;
+          incr non_source
+        end;
+        if d > !max_delay then max_delay := d
+      end)
+    delay;
+  let histogram = Array.make (!max_delay + 1) 0 in
+  Array.iter (fun d -> if d >= 0 then histogram.(d) <- histogram.(d) + 1) delay;
+  {
+    reachable = !reachable;
+    unreachable = !unreachable;
+    mean_delay =
+      (if !non_source = 0 then 0. else float_of_int !total /. float_of_int !non_source);
+    max_delay = !max_delay;
+    delay_histogram = histogram;
+  }
+
+let random_regular_baseline rng ~n ~degree =
+  if degree < 0 then invalid_arg "Streaming.random_regular_baseline: negative degree";
+  (* Pairing model: shuffle the multiset of half-edges, reject self-loops
+     and duplicates (leaves a few peers slightly under-degree, which
+     matches the matching-based graphs it is compared against). *)
+  let stubs = Array.make (n * degree) 0 in
+  for v = 0 to n - 1 do
+    for k = 0 to degree - 1 do
+      stubs.((v * degree) + k) <- v
+    done
+  done;
+  Dist.shuffle rng stubs;
+  let seen = Hashtbl.create (n * degree) in
+  let adj = Array.make n [] in
+  let m = Array.length stubs in
+  let i = ref 0 in
+  while !i + 1 < m do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    if u <> v && not (Hashtbl.mem seen (min u v, max u v)) then begin
+      Hashtbl.replace seen (min u v, max u v) ();
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v)
+    end;
+    i := !i + 2
+  done;
+  Array.map (fun l -> Array.of_list (List.sort compare l)) adj

@@ -1,0 +1,30 @@
+(** Play-out delay over collaboration graphs (§7's streaming remark).
+
+    The paper's conclusion warns that strong stratification "produce[s] a
+    collaboration graph with large diameter (large play out delay)" for
+    P2P streaming.  Model: content enters at source peers and each
+    collaboration hop costs one unit of delay; a peer's play-out delay is
+    its hop distance to the nearest source.  This module measures that
+    delay over any collaboration graph, so stratified, proximity-based and
+    random graphs can be compared. *)
+
+type report = {
+  reachable : int;  (** peers with a finite delay *)
+  unreachable : int;
+  mean_delay : float;  (** over reachable non-source peers *)
+  max_delay : int;
+  delay_histogram : int array;  (** count per hop distance *)
+}
+
+val measure : adjacency:int array array -> sources:int list -> report
+(** BFS from the source set over the collaboration graph. *)
+
+val delay_by_rank : adjacency:int array array -> sources:int list -> int array
+(** Per-peer delay, [-1] when unreachable — exposes {e who} pays the
+    stratification price (peers far from the sources' stratum). *)
+
+val random_regular_baseline :
+  Stratify_prng.Rng.t -> n:int -> degree:int -> int array array
+(** A degree-capped random collaboration graph with the same per-peer
+    budget (pairing-model with rejected duplicates) — the unstratified
+    reference topology. *)

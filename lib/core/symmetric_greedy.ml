@@ -1,0 +1,25 @@
+module G = General_matching
+
+let stable_state inst ~utility =
+  let n = G.n inst in
+  let edges = ref [] in
+  for p = n - 1 downto 0 do
+    Array.iter
+      (fun q -> if p < q then edges := (Utility.value utility p q, p, q) :: !edges)
+      (G.preference_list inst p)
+  done;
+  let edges = Array.of_list !edges in
+  (* Best utility first; ties broken by lexicographic pair for
+     determinism. *)
+  Array.sort
+    (fun (u1, p1, q1) (u2, p2, q2) ->
+      let c = compare u2 u1 in
+      if c <> 0 then c else compare (p1, q1) (p2, q2))
+    edges;
+  let s = G.State.empty inst in
+  Array.iter
+    (fun (_, p, q) ->
+      if G.State.degree s p < G.slots inst p && G.State.degree s q < G.slots inst q then
+        G.State.connect s p q)
+    edges;
+  s

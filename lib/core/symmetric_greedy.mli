@@ -1,0 +1,22 @@
+(** Stable b-matching for {e symmetric} utilities (§7's latency class).
+
+    When [u p q = u q p] — pairwise latency, say — a stable configuration
+    always exists: repeatedly take the globally best remaining acceptable
+    pair with free slots on both sides.  The first pair chosen is mutually
+    best, hence stable, and the argument recurses (the symmetric analogue
+    of Algorithm 1's best-peer-first argument).  Unlike the global-ranking
+    case the result need not be unique — distinct symmetric weights give a
+    unique outcome, ties do not.
+
+    This is the constructive half of the paper's concluding remark that
+    different utility classes yield very different collaboration
+    structures: symmetric utilities cluster peers by {e proximity} rather
+    than by {e rank} (no stratification), which the [latency] experiment
+    demonstrates. *)
+
+val stable_state :
+  General_matching.t -> utility:Utility.t -> General_matching.State.state
+(** Greedy max-utility-edge matching.  [utility] must be the symmetric
+    utility the instance was built from (used to order edges; symmetry is
+    the caller's obligation — verify with {!Utility.is_symmetric} in
+    tests).  O(m log m). *)

@@ -1,0 +1,39 @@
+type t = { queue : (t -> unit) Pqueue.t; mutable clock : float }
+
+let create () = { queue = Pqueue.create (); clock = 0. }
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  Pqueue.push t.queue ~priority:time f
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let pending t = Pqueue.size t.queue
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- Float.max t.clock time;
+      f t;
+      true
+
+let run_until t ~time =
+  if time < t.clock then invalid_arg "Engine.run_until: time is in the past";
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek t.queue with
+    | Some (next, _) when next <= time -> ignore (step t)
+    | _ -> continue := false
+  done;
+  t.clock <- time
+
+let drain ?(max_events = 10_000_000) t =
+  let budget = ref max_events in
+  while !budget > 0 && step t do
+    decr budget
+  done;
+  Pqueue.is_empty t.queue

@@ -1,0 +1,31 @@
+(** Discrete-event simulation engine.
+
+    A simulated clock plus an event queue of callbacks.  Events scheduled
+    for the same instant fire in scheduling order, so runs are
+    deterministic.  This is the substrate of the asynchronous
+    message-passing dynamics (the paper's peers act "anytime", not in
+    rounds). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Run a callback [delay] time units from now ([delay ≥ 0]). *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val pending : t -> int
+
+val run_until : t -> time:float -> unit
+(** Process events with timestamp [≤ time], then advance the clock to
+    [time]. *)
+
+val drain : ?max_events:int -> t -> bool
+(** Process everything left (events may schedule more).  Returns [false]
+    if the [max_events] budget (default 10⁷) ran out first — the runaway
+    guard for event loops that feed themselves. *)

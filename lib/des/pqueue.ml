@@ -1,0 +1,75 @@
+type 'a entry = { priority : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* heap.(0) unused sentinel space via len *)
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+let size t = t.len
+let is_empty t = t.len = 0
+
+let before a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.heap in
+  if t.len >= capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit t.heap 0 fresh 0 t.len;
+    t.heap <- fresh
+  end
+
+let push t ~priority payload =
+  let entry = { priority; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.len) <- entry;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(!i) in
+    t.heap.(!i) <- t.heap.(parent);
+    t.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.priority, top.payload)
+  end
+
+let peek t = if t.len = 0 then None else Some (t.heap.(0).priority, t.heap.(0).payload)
+
+let clear t =
+  t.len <- 0;
+  t.heap <- [||]

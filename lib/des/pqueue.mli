@@ -1,0 +1,20 @@
+(** Binary min-heap priority queue.
+
+    The event queue of the discrete-event engine.  Entries with equal
+    priority are dequeued in insertion order (stable), which keeps
+    simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Lowest priority first; insertion order breaks ties. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,31 @@
+type t = { volume : (int * int, float ref) Hashtbl.t }
+(* volume maps (sender, receiver) -> data sent. *)
+
+let create _n = { volume = Hashtbl.create 1024 }
+
+let cell t key =
+  match Hashtbl.find_opt t.volume key with
+  | Some r -> r
+  | None ->
+      let r = ref 0. in
+      Hashtbl.replace t.volume key r;
+      r
+
+let record_transfer t ~from_ ~to_ amount =
+  if amount < 0. then invalid_arg "Credit.record_transfer: negative volume";
+  let c = cell t (from_, to_) in
+  c := !c +. amount
+
+let lookup t key = match Hashtbl.find_opt t.volume key with Some r -> !r | None -> 0.
+
+let uploaded_to t ~judge ~client = lookup t (client, judge)
+let downloaded_from t ~judge ~client = lookup t (judge, client)
+
+let modifier t ~judge ~client =
+  let u = uploaded_to t ~judge ~client in
+  let d = downloaded_from t ~judge ~client in
+  (* eMule: ratio rule only once real volume has flowed both ways; the
+     sqrt rule caps newcomers' boost. *)
+  let by_ratio = if d < 1. then infinity else 2. *. u /. d in
+  let by_volume = sqrt (u +. 2.) in
+  Float.max 1. (Float.min 10. (Float.min by_ratio by_volume))

@@ -1,0 +1,33 @@
+(** eMule-style pairwise credit accounting.
+
+    §2 of the paper contrasts BitTorrent's single game-theoretic
+    preference list with "a protocol like eDonkey [which] optimizes
+    independently two preference lists on the server and the client
+    sides".  The server side ranks waiting clients by
+    [waiting time × credit modifier]; the modifier rewards clients that
+    previously uploaded to this server.  This module implements the
+    classic eMule modifier:
+
+    {v modifier = clamp(1, 10, min(2·U/D, sqrt(U + 2))) v}
+
+    where [U] are the megabytes the client sent {e to me} and [D] the
+    megabytes it received {e from me} ([2·U/D] is skipped while [D] is
+    negligible). *)
+
+type t
+
+val create : int -> t
+(** Zeroed pairwise ledgers for [n] peers. *)
+
+val record_transfer : t -> from_:int -> to_:int -> float -> unit
+(** Credit a transfer of the given volume. *)
+
+val uploaded_to : t -> judge:int -> client:int -> float
+(** Volume [client] has sent to [judge]. *)
+
+val downloaded_from : t -> judge:int -> client:int -> float
+(** Volume [client] has received from [judge]. *)
+
+val modifier : t -> judge:int -> client:int -> float
+(** The eMule credit modifier of [client] in [judge]'s queue, in
+    [1, 10]. *)

@@ -1,0 +1,128 @@
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+module Undirected = Stratify_graph.Undirected
+module Correlation = Stratify_stats.Correlation
+
+type params = { uploads : float array; slots : int; d : float }
+
+let default_params ~uploads = { uploads; slots = 4; d = 20. }
+
+type t = {
+  params : params;
+  neighbors : int array array;
+  credit : Credit.t;
+  waiting : float array array;  (* waiting.(server) aligned with neighbors.(server) *)
+  serving : int list array;
+  uploaded : float array;
+  downloaded : float array;
+  mutable tick : int;
+}
+
+let create rng params =
+  let n = Array.length params.uploads in
+  if n < 2 then invalid_arg "Queue_sim.create: need at least two peers";
+  if params.slots < 1 then invalid_arg "Queue_sim.create: need at least one slot";
+  let graph = Gen.gnd rng ~n ~d:params.d in
+  let neighbors =
+    Array.init n (fun v -> Array.of_list (Undirected.sorted_neighbors graph v))
+  in
+  {
+    params;
+    neighbors;
+    credit = Credit.create n;
+    waiting = Array.map (fun row -> Array.make (Array.length row) 0.) neighbors;
+    serving = Array.make n [];
+    uploaded = Array.make n 0.;
+    downloaded = Array.make n 0.;
+    tick = 0;
+  }
+
+let size t = Array.length t.params.uploads
+
+let step t =
+  let n = size t in
+  (* Each server picks its top-scoring waiting clients. *)
+  for server = 0 to n - 1 do
+    let row = t.neighbors.(server) in
+    let count = Array.length row in
+    if count > 0 then begin
+      let scored =
+        Array.init count (fun k ->
+            let client = row.(k) in
+            let score =
+              (1. +. t.waiting.(server).(k))
+              *. Credit.modifier t.credit ~judge:server ~client
+            in
+            (score, k))
+      in
+      Array.sort (fun (s1, k1) (s2, k2) ->
+          let c = compare s2 s1 in
+          if c <> 0 then c else compare k1 k2)
+        scored;
+      let slots = min t.params.slots count in
+      let served = Array.to_list (Array.map snd (Array.sub scored 0 slots)) in
+      t.serving.(server) <- served;
+      let share = t.params.uploads.(server) /. float_of_int slots in
+      List.iter
+        (fun k ->
+          let client = row.(k) in
+          t.uploaded.(server) <- t.uploaded.(server) +. share;
+          t.downloaded.(client) <- t.downloaded.(client) +. share;
+          Credit.record_transfer t.credit ~from_:server ~to_:client share;
+          (* Served clients drop to the back of the queue. *)
+          t.waiting.(server).(k) <- 0.)
+        served;
+      (* Everyone else ages. *)
+      let served_set = Hashtbl.create 8 in
+      List.iter (fun k -> Hashtbl.replace served_set k ()) served;
+      for k = 0 to count - 1 do
+        if not (Hashtbl.mem served_set k) then
+          t.waiting.(server).(k) <- t.waiting.(server).(k) +. 1.
+      done
+    end
+  done;
+  t.tick <- t.tick + 1
+
+let run t ~ticks =
+  for _ = 1 to ticks do
+    step t
+  done
+
+let reset_counters t =
+  Array.fill t.uploaded 0 (size t) 0.;
+  Array.fill t.downloaded 0 (size t) 0.
+
+let uploaded t p = t.uploaded.(p)
+let downloaded t p = t.downloaded.(p)
+
+let share_ratios t =
+  Array.init (size t) (fun p ->
+      if t.uploaded.(p) <= 0. then 0. else t.downloaded.(p) /. t.uploaded.(p))
+
+let served_now t server = List.map (fun k -> t.neighbors.(server).(k)) t.serving.(server)
+
+let stratification_correlation t =
+  let pairs = ref [] in
+  for server = 0 to size t - 1 do
+    match served_now t server with
+    | [] -> ()
+    | clients ->
+        let mean_cap =
+          List.fold_left (fun acc c -> acc +. log t.params.uploads.(c)) 0. clients
+          /. float_of_int (List.length clients)
+        in
+        pairs := (log t.params.uploads.(server), mean_cap) :: !pairs
+  done;
+  Correlation.pearson (Array.of_list !pairs)
+
+let mean_wait t =
+  let total = ref 0. and count = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun w ->
+          total := !total +. w;
+          incr count)
+        row)
+    t.waiting;
+  if !count = 0 then 0. else !total /. float_of_int !count

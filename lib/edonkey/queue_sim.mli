@@ -1,0 +1,46 @@
+(** Credit-queue network simulator — the eDonkey/eMule-style baseline.
+
+    Every peer runs a server-side upload queue over the clients it knows;
+    each tick it serves its [slots] highest-scoring waiting clients
+    ([score = waiting time × credit modifier]) with an equal split of its
+    upload capacity, then served clients rejoin the back of the queue.
+    The client side is trivial in the post-flash-crowd regime: every peer
+    wants data from every acquaintance, so it waits in all their queues.
+
+    Contrasted with the TFT swarm in the [edonkey] experiment: both
+    protocols are reciprocal, but queue aging guarantees everyone service
+    eventually, so the download-rate stratification of §6 is much weaker
+    here. *)
+
+type params = {
+  uploads : float array;  (** per-peer upload capacity, units/tick *)
+  slots : int;  (** concurrent upload slots per peer *)
+  d : float;  (** knowledge degree (Erdős–Rényi) *)
+}
+
+val default_params : uploads:float array -> params
+(** slots = 4, d = 20. *)
+
+type t
+
+val create : Stratify_prng.Rng.t -> params -> t
+val size : t -> int
+val step : t -> unit
+val run : t -> ticks:int -> unit
+val reset_counters : t -> unit
+
+val uploaded : t -> int -> float
+val downloaded : t -> int -> float
+
+val share_ratios : t -> float array
+(** downloaded/uploaded per peer over the measurement window. *)
+
+val stratification_correlation : t -> float
+(** Pearson correlation between own log-capacity and the byte-weighted
+    mean log-capacity of current upload targets. *)
+
+val served_now : t -> int -> int list
+(** The clients a peer is currently serving (diagnostics). *)
+
+val mean_wait : t -> float
+(** Average current waiting time across all queue positions. *)

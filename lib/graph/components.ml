@@ -1,0 +1,49 @@
+type t = { component : int array; sizes : int array; count : int }
+
+let of_union_find n uf =
+  let component = Array.make n (-1) in
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let root = Union_find.find uf v in
+    let id =
+      match Hashtbl.find_opt remap root with
+      | Some id -> id
+      | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add remap root id;
+          id
+    in
+    component.(v) <- id
+  done;
+  let sizes = Array.make !next 0 in
+  Array.iter (fun id -> sizes.(id) <- sizes.(id) + 1) component;
+  { component; sizes; count = !next }
+
+let of_graph g =
+  let n = Undirected.vertex_count g in
+  let uf = Union_find.create n in
+  Undirected.iter_edges (fun u v -> ignore (Union_find.union uf u v)) g;
+  of_union_find n uf
+
+let of_adjacency adj =
+  let n = Array.length adj in
+  let uf = Union_find.create n in
+  Array.iteri (fun u ws -> Array.iter (fun v -> ignore (Union_find.union uf u v)) ws) adj;
+  of_union_find n uf
+
+let largest_size t = Array.fold_left max 0 t.sizes
+
+let mean_size t =
+  if t.count = 0 then 0.
+  else float_of_int (Array.length t.component) /. float_of_int t.count
+
+let is_connected t = t.count <= 1 && Array.length t.component = Array.fold_left ( + ) 0 t.sizes
+
+let members t id =
+  let out = ref [] in
+  for v = Array.length t.component - 1 downto 0 do
+    if t.component.(v) = id then out := v :: !out
+  done;
+  !out

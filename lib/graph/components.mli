@@ -1,0 +1,25 @@
+(** Connected components. *)
+
+type t = {
+  component : int array;  (** component id of each vertex, in [0, count). *)
+  sizes : int array;  (** size of each component, indexed by id. *)
+  count : int;  (** number of components. *)
+}
+
+val of_graph : Undirected.t -> t
+(** Components via union-find over the edge set. *)
+
+val of_adjacency : int array array -> t
+(** Same, from frozen adjacency arrays. *)
+
+val largest_size : t -> int
+(** Size of the largest component (0 for the empty graph). *)
+
+val mean_size : t -> float
+(** Average component size, i.e. [n / count]. *)
+
+val is_connected : t -> bool
+(** Whether there is exactly one component covering all vertices. *)
+
+val members : t -> int -> int list
+(** Vertices of a component, in increasing order. *)

@@ -1,0 +1,129 @@
+module Rng = Stratify_prng.Rng
+
+let empty n = Undirected.create n
+
+let complete n =
+  let g = Undirected.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      ignore (Undirected.add_edge g u v)
+    done
+  done;
+  g
+
+let ring n =
+  if n < 3 then invalid_arg "Gen.ring: need n >= 3";
+  let g = Undirected.create n in
+  for v = 0 to n - 1 do
+    ignore (Undirected.add_edge g v ((v + 1) mod n))
+  done;
+  g
+
+let path n =
+  let g = Undirected.create n in
+  for v = 0 to n - 2 do
+    ignore (Undirected.add_edge g v (v + 1))
+  done;
+  g
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  let g = Undirected.create n in
+  for v = 1 to n - 1 do
+    ignore (Undirected.add_edge g 0 v)
+  done;
+  g
+
+(* Iterate the edges of G(n,p) in O(n + m) expected time: walk the linearised
+   upper-triangular edge index with geometric jumps (Batagelj & Brandes,
+   2005). *)
+let iter_gnp_edges rng ~n ~p f =
+  if p < 0. || p > 1. then invalid_arg "Gen.gnp: p must be in [0,1]";
+  if p > 0. then
+    if p >= 1. then begin
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          f u v
+        done
+      done
+    end
+    else begin
+      let log_q = log1p (-.p) in
+      let u = ref 0 and v = ref 0 in
+      (* (u, v) with v > u; start just before the first candidate. *)
+      let continue = ref (n >= 2) in
+      while !continue do
+        let r = Rng.unit_float rng in
+        let skip = 1 + int_of_float (floor (log1p (-.r) /. log_q)) in
+        let j = ref (!v + skip) in
+        while !j >= n && !continue do
+          incr u;
+          j := !u + 1 + (!j - n);
+          if !u >= n - 1 then continue := false
+        done;
+        if !continue then begin
+          v := !j;
+          f !u !v
+        end
+      done
+    end
+
+let gnp rng ~n ~p =
+  let g = Undirected.create n in
+  iter_gnp_edges rng ~n ~p (fun u v -> ignore (Undirected.add_edge g u v));
+  g
+
+let gnd rng ~n ~d =
+  if n < 2 then Undirected.create n
+  else
+    let p = d /. float_of_int (n - 1) in
+    let p = Float.max 0. (Float.min 1. p) in
+    gnp rng ~n ~p
+
+let gnp_adjacency rng ~n ~p =
+  (* Two passes over the generated edge list: count degrees, then fill. *)
+  let edges = ref [] in
+  let deg = Array.make n 0 in
+  iter_gnp_edges rng ~n ~p (fun u v ->
+      edges := (u, v) :: !edges;
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1);
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  (* The skip generator emits edges in increasing (u,v) lexicographic order,
+     and [edges] reversed restores that order, so each adjacency row ends up
+     sorted without an extra sort for the [u] endpoints; [v] endpoints arrive
+     in increasing [u] order too, which is also sorted. *)
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    (List.rev !edges);
+  adj
+
+let attach_fresh_vertex rng g ~v ~p ~present =
+  let n = Undirected.vertex_count g in
+  let added = ref 0 in
+  (* Geometric skipping over candidate endpoints, same trick as gnp. *)
+  if p >= 1. then begin
+    for w = 0 to n - 1 do
+      if w <> v && present w && Undirected.add_edge g v w then incr added
+    done;
+    !added
+  end
+  else if p <= 0. then 0
+  else begin
+    let log_q = log1p (-.p) in
+    let w = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let r = Rng.unit_float rng in
+      let skip = 1 + int_of_float (floor (log1p (-.r) /. log_q)) in
+      w := !w + skip;
+      if !w >= n then continue := false
+      else if !w <> v && present !w && Undirected.add_edge g v !w then incr added
+    done;
+    !added
+  end

@@ -1,0 +1,40 @@
+(** Graph generators.
+
+    The paper's simulations use loopless symmetric Erdős–Rényi graphs
+    [G(n, d)] where [d] is the {e expected degree} (each edge present
+    independently with probability [d/(n-1)]); complete graphs serve as the
+    §4 toy model. *)
+
+val empty : int -> Undirected.t
+(** Graph with [n] isolated vertices. *)
+
+val complete : int -> Undirected.t
+(** Complete graph [K_n]. *)
+
+val ring : int -> Undirected.t
+(** Cycle on [n >= 3] vertices. *)
+
+val path : int -> Undirected.t
+(** Path on [n] vertices. *)
+
+val star : int -> Undirected.t
+(** Star with centre [0]. *)
+
+val gnp : Stratify_prng.Rng.t -> n:int -> p:float -> Undirected.t
+(** Erdős–Rényi [G(n,p)] sampled in O(n + m) expected time by geometric
+    edge skipping. *)
+
+val gnd : Stratify_prng.Rng.t -> n:int -> d:float -> Undirected.t
+(** The paper's parameterisation: expected degree [d], i.e.
+    [G(n, p = d/(n-1))].  [d] is clamped to the feasible range. *)
+
+val gnp_adjacency : Stratify_prng.Rng.t -> n:int -> p:float -> int array array
+(** Like {!gnp} but returns sorted adjacency arrays directly — the frozen
+    form consumed by matching hot loops (used for Monte-Carlo experiments
+    where graph construction dominates). *)
+
+val attach_fresh_vertex :
+  Stratify_prng.Rng.t -> Undirected.t -> v:int -> p:float -> present:(int -> bool) -> int
+(** Re-wire an (isolated) vertex as a fresh Erdős–Rényi arrival: connect [v]
+    to every vertex [w ≠ v] with [present w] independently with probability
+    [p].  Returns the number of edges created.  Used by the churn model. *)

@@ -1,0 +1,55 @@
+let mean_degree g =
+  let n = Undirected.vertex_count g in
+  if n = 0 then 0.
+  else 2. *. float_of_int (Undirected.edge_count g) /. float_of_int n
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to Undirected.vertex_count g - 1 do
+    best := max !best (Undirected.degree g v)
+  done;
+  !best
+
+let degree_histogram g =
+  let h = Array.make (max_degree g + 1) 0 in
+  for v = 0 to Undirected.vertex_count g - 1 do
+    let d = Undirected.degree g v in
+    h.(d) <- h.(d) + 1
+  done;
+  h
+
+let clustering_coefficient g =
+  let n = Undirected.vertex_count g in
+  let triangles = ref 0 and wedges = ref 0 in
+  for v = 0 to n - 1 do
+    let ws = Array.of_list (Undirected.neighbors g v) in
+    let d = Array.length ws in
+    wedges := !wedges + (d * (d - 1) / 2);
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        if Undirected.mem_edge g ws.(i) ws.(j) then incr triangles
+      done
+    done
+  done;
+  (* Each triangle is counted once per corner, i.e. three times. *)
+  if !wedges = 0 then 0. else float_of_int !triangles /. float_of_int !wedges
+
+let assortativity_by_label g =
+  (* Pearson correlation of (u, v) endpoint labels over edges, treating each
+     edge in both orientations so the statistic is symmetric. *)
+  let sx = ref 0. and sxx = ref 0. and sxy = ref 0. and m = ref 0 in
+  Undirected.iter_edges
+    (fun u v ->
+      let fu = float_of_int u and fv = float_of_int v in
+      sx := !sx +. fu +. fv;
+      sxx := !sxx +. (fu *. fu) +. (fv *. fv);
+      sxy := !sxy +. (2. *. fu *. fv);
+      m := !m + 2)
+    g;
+  if !m = 0 then 0.
+  else
+    let n = float_of_int !m in
+    let mean = !sx /. n in
+    let var = (!sxx /. n) -. (mean *. mean) in
+    let cov = (!sxy /. n) -. (mean *. mean) in
+    if var <= 0. then 0. else cov /. var

@@ -1,0 +1,17 @@
+(** Structural graph metrics. *)
+
+val mean_degree : Undirected.t -> float
+(** Average vertex degree ([2m/n]); 0 for the empty vertex set. *)
+
+val degree_histogram : Undirected.t -> int array
+(** [h.(k)] is the number of vertices of degree [k]. *)
+
+val max_degree : Undirected.t -> int
+
+val clustering_coefficient : Undirected.t -> float
+(** Global clustering coefficient (3 × triangles / wedges), exact. *)
+
+val assortativity_by_label : Undirected.t -> float
+(** Pearson correlation of endpoint labels over edges.  Under the
+    rank-as-label convention this measures stratification directly: values
+    near 1 mean peers connect to peers of similar rank. *)

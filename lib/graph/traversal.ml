@@ -1,0 +1,36 @@
+let bfs_distances g src =
+  let n = Undirected.vertex_count g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v queue
+        end)
+      (Undirected.neighbors g u)
+  done;
+  dist
+
+let farthest dist =
+  let best = ref 0 and best_v = ref 0 in
+  Array.iteri
+    (fun v d ->
+      if d > !best then begin
+        best := d;
+        best_v := v
+      end)
+    dist;
+  (!best_v, !best)
+
+let eccentricity g v = snd (farthest (bfs_distances g v))
+
+let diameter_estimate g =
+  if Undirected.vertex_count g = 0 then 0
+  else
+    let far, _ = farthest (bfs_distances g 0) in
+    eccentricity g far

@@ -1,0 +1,12 @@
+(** Breadth-first traversal utilities. *)
+
+val bfs_distances : Undirected.t -> int -> int array
+(** [bfs_distances g src] is the array of hop distances from [src];
+    unreachable vertices get [-1]. *)
+
+val eccentricity : Undirected.t -> int -> int
+(** Largest finite BFS distance from a vertex (0 for isolated vertices). *)
+
+val diameter_estimate : Undirected.t -> int
+(** Lower bound on the diameter by a double-sweep BFS from vertex 0's
+    component (exact on trees, a good estimate in general). *)

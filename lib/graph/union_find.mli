@@ -1,0 +1,25 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used to extract connected components of collaboration graphs (cluster
+    analysis of §4 of the paper) in near-linear time. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of an element's set. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] when they
+    were already in the same set. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements share a set. *)
+
+val size : t -> int -> int
+(** Number of elements in an element's set. *)
+
+val count : t -> int
+(** Number of distinct sets. *)

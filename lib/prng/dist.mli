@@ -1,0 +1,66 @@
+(** Random-variate samplers.
+
+    All samplers draw from an explicit {!Rng.t}.  These cover the needs of
+    the stratification experiments: rounded-normal slot budgets (§4 of the
+    paper), exponential/geometric churn timers, Zipf-like popularity, and
+    alias-method sampling from empirical bandwidth profiles (§6). *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [lo, hi). *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian via the Marsaglia polar method. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian with the given log-space parameters. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with intensity [rate] (mean [1/rate]). *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of Bernoulli([p]) failures before the first success; support
+    starts at 0. *)
+
+val poisson : Rng.t -> lambda:float -> int
+(** Poisson counts; Knuth multiplication for small means, normal
+    approximation with continuity correction beyond [lambda > 64]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Binomial(n, p) by inversion for small [n·p], otherwise via a normal
+    approximation clamped to the support. *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [1, n] with exponent [s], by inversion on the
+    precomputed CDF (intended for modest [n]). *)
+
+val rounded_positive_normal : Rng.t -> mean:float -> sigma:float -> int
+(** The paper's §4 slot-budget law: a Gaussian sample rounded to the nearest
+    integer and clamped below at 1 ("rounded to the nearest positive
+    integer"). *)
+
+val shuffle : Rng.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : Rng.t -> k:int -> n:int -> int array
+(** [sample_without_replacement rng ~k ~n] draws [k] distinct indices from
+    [0, n-1], in uniform random order.  Raises [Invalid_argument] if
+    [k > n]. *)
+
+val pick : Rng.t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+(** Alias-method sampler for fixed discrete distributions: O(n) setup,
+    O(1) per draw. *)
+module Alias : sig
+  type t
+
+  val of_weights : float array -> t
+  (** Build from non-negative weights (need not be normalised; total must be
+      positive). *)
+
+  val draw : t -> Rng.t -> int
+  (** Sample an index with probability proportional to its weight. *)
+
+  val probability : t -> int -> float
+  (** Normalised probability of an index (for testing). *)
+end

@@ -1,0 +1,47 @@
+type t = { gen : Xoshiro256.t }
+
+let create seed = { gen = Xoshiro256.create (Splitmix64.mix (Int64.of_int seed)) }
+
+let split t =
+  let child = { gen = Xoshiro256.copy t.gen } in
+  Xoshiro256.jump child.gen;
+  (* Advance the parent past the child's substream origin as well, so a
+     second split does not reuse it. *)
+  Xoshiro256.jump t.gen;
+  Xoshiro256.jump t.gen;
+  child
+
+let copy t = { gen = Xoshiro256.copy t.gen }
+
+let int64 t = Xoshiro256.next t.gen
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let rec int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else if bound <= 1 lsl 30 then begin
+    (* Rejection sampling on 30 bits to avoid modulo bias. *)
+    let mask_bits = bits30 t in
+    let r = mask_bits mod bound in
+    if mask_bits - r + (bound - 1) < 1 lsl 30 then r else int t bound
+  end
+  else begin
+    (* Large bound: use 62 bits. *)
+    let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) >= 0 then v else int t bound
+  end
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 high bits of the 64-bit output, scaled to [0,1). *)
+  Int64.to_float (Int64.shift_right_logical (int64 t) 11) *. 0x1.0p-53
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.compare (int64 t) 0L < 0
+
+let bernoulli t p = unit_float t < p

@@ -1,0 +1,45 @@
+(** Deterministic random source for experiments.
+
+    A thin, explicit-state front-end over {!Xoshiro256}.  Every simulation
+    and generator in this repository takes an [Rng.t] argument instead of
+    touching [Stdlib.Random], so a run is fully determined by its seed and
+    experiments are replayable bit-for-bit. *)
+
+type t
+(** Mutable random source. *)
+
+val create : int -> t
+(** [create seed] builds a source from an integer seed.  Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child source and advances
+    [t] so that parent and child streams do not overlap.  Use one split per
+    logical component (e.g. one per simulated swarm). *)
+
+val copy : t -> t
+(** Clone replaying the same future stream (for A/B comparisons). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniform random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound-1].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [0, bound). *)
+
+val unit_float : t -> float
+(** Uniform on [0,1) with 53-bit resolution. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)

@@ -1,0 +1,23 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood, 2014).
+
+    A tiny, fast, full-period generator over a 64-bit state.  Its main role
+    in this library is seeding: it expands a single user seed into the
+    256-bit state required by {!Xoshiro256}, and it backs cheap independent
+    stream derivation. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator; equal seeds give equal
+    streams. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val copy : t -> t
+(** [copy t] is an independent clone that will replay [t]'s future. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless SplitMix64 finaliser, usable as a 64-bit hash
+    (bijective, high avalanche). *)

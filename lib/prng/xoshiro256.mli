@@ -1,0 +1,23 @@
+(** Xoshiro256++ pseudo-random generator (Blackman & Vigna, 2019).
+
+    256-bit state, period [2^256 - 1], excellent statistical quality and a
+    cheap [jump] operation yielding non-overlapping substreams — the
+    workhorse generator behind {!Rng}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] expands [seed] through SplitMix64 into a valid (non-zero)
+    256-bit state. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val copy : t -> t
+(** Independent clone replaying the same future stream. *)
+
+val jump : t -> unit
+(** [jump t] advances [t] by [2^128] steps in place.  Successive jumps carve
+    the period into non-overlapping substreams suitable for parallel or
+    split use. *)

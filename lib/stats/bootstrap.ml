@@ -1,0 +1,27 @@
+module Rng = Stratify_prng.Rng
+
+type interval = { low : float; estimate : float; high : float }
+
+let percentile rng ?(replicates = 1000) ?(confidence = 0.95) xs ~statistic =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.percentile: empty sample";
+  if replicates <= 0 then invalid_arg "Bootstrap.percentile: need replicates > 0";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Bootstrap.percentile: confidence must be in (0,1)";
+  let estimate = statistic xs in
+  let stats =
+    Array.init replicates (fun _ ->
+        let resample = Array.init n (fun _ -> xs.(Rng.int rng n)) in
+        statistic resample)
+  in
+  Array.sort compare stats;
+  let alpha = (1. -. confidence) /. 2. in
+  let pick q =
+    let pos = q *. float_of_int (replicates - 1) in
+    stats.(int_of_float (Float.round pos))
+  in
+  { low = pick alpha; estimate; high = pick (1. -. alpha) }
+
+let mean_interval rng ?replicates ?confidence xs =
+  let statistic a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a) in
+  percentile rng ?replicates ?confidence xs ~statistic

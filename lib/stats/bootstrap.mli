@@ -1,0 +1,23 @@
+(** Percentile-bootstrap confidence intervals.
+
+    Monte-Carlo experiments (Fig 9's validation, the swarm cross-checks)
+    report statistics of modest sample sizes; the bootstrap gives honest
+    uncertainty bands without distributional assumptions. *)
+
+type interval = { low : float; estimate : float; high : float }
+
+val percentile :
+  Stratify_prng.Rng.t ->
+  ?replicates:int ->
+  ?confidence:float ->
+  float array ->
+  statistic:(float array -> float) ->
+  interval
+(** [percentile rng xs ~statistic] resamples [xs] with replacement
+    [replicates] times (default 1000) and returns the
+    [confidence]-level (default 0.95) percentile interval around the
+    plug-in estimate. *)
+
+val mean_interval :
+  Stratify_prng.Rng.t -> ?replicates:int -> ?confidence:float -> float array -> interval
+(** Bootstrap interval for the mean. *)

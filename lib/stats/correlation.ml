@@ -1,0 +1,71 @@
+let pearson pairs =
+  let n = Array.length pairs in
+  if n < 2 then 0.
+  else begin
+    let fn = float_of_int n in
+    let sx = Array.fold_left (fun a (x, _) -> a +. x) 0. pairs /. fn in
+    let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. pairs /. fn in
+    let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+    Array.iter
+      (fun (x, y) ->
+        let dx = x -. sx and dy = y -. sy in
+        cov := !cov +. (dx *. dy);
+        vx := !vx +. (dx *. dx);
+        vy := !vy +. (dy *. dy))
+      pairs;
+    if !vx <= 0. || !vy <= 0. then 0. else !cov /. sqrt (!vx *. !vy)
+  end
+
+(* Fractional ranks with ties averaged. *)
+let ranks values =
+  let n = Array.length values in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare values.(a) values.(b)) order;
+  let out = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && values.(order.(!j + 1)) = values.(order.(!i)) do
+      incr j
+    done;
+    (* positions !i .. !j share the same value: average rank *)
+    let avg = float_of_int (!i + !j) /. 2. in
+    for k = !i to !j do
+      out.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman pairs =
+  let rx = ranks (Array.map fst pairs) and ry = ranks (Array.map snd pairs) in
+  pearson (Array.init (Array.length pairs) (fun i -> (rx.(i), ry.(i))))
+
+let kendall pairs =
+  let n = Array.length pairs in
+  if n < 2 then 0.
+  else begin
+    let concordant = ref 0 and discordant = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let xi, yi = pairs.(i) and xj, yj = pairs.(j) in
+        let sx = compare xi xj and sy = compare yi yj in
+        if sx * sy > 0 then incr concordant else if sx * sy < 0 then incr discordant
+      done
+    done;
+    float_of_int (!concordant - !discordant) /. float_of_int (n * (n - 1) / 2)
+  end
+
+let autocorrelation xs ~lag =
+  let n = Array.length xs in
+  if lag < 0 || lag >= n then invalid_arg "Correlation.autocorrelation: lag out of range";
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var = Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs in
+  if var <= 0. then 0.
+  else begin
+    let cov = ref 0. in
+    for i = 0 to n - 1 - lag do
+      cov := !cov +. ((xs.(i) -. mean) *. (xs.(i + lag) -. mean))
+    done;
+    !cov /. var
+  end

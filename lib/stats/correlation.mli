@@ -1,0 +1,22 @@
+(** Correlation coefficients.
+
+    Used to quantify stratification: the association between a peer's
+    intrinsic value and the value of the peers it ends up collaborating
+    with. *)
+
+val pearson : (float * float) array -> float
+(** Linear correlation; 0 for fewer than two points or degenerate
+    variance. *)
+
+val spearman : (float * float) array -> float
+(** Rank correlation: Pearson on fractional ranks (ties get their average
+    rank), robust to monotone transformations — the right statistic when
+    bandwidths span decades. *)
+
+val kendall : (float * float) array -> float
+(** Kendall's τ-a (concordant minus discordant pairs over all pairs);
+    O(n²), intended for n ≲ 10⁴. *)
+
+val autocorrelation : float array -> lag:int -> float
+(** Sample autocorrelation of a sequence at a given lag (for disorder
+    trajectories under churn). *)

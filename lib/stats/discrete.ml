@@ -1,0 +1,84 @@
+type t = { w : float array }
+
+let of_weights w =
+  Array.iter (fun x -> if x < 0. || Float.is_nan x then invalid_arg "Discrete.of_weights: negative or NaN weight") w;
+  { w = Array.copy w }
+
+let uniform n =
+  if n <= 0 then invalid_arg "Discrete.uniform: need n > 0";
+  { w = Array.make n (1. /. float_of_int n) }
+
+let point ~n k =
+  if k < 0 || k >= n then invalid_arg "Discrete.point: outcome out of range";
+  let w = Array.make n 0. in
+  w.(k) <- 1.;
+  { w }
+
+let support_size t = Array.length t.w
+let mass t k = t.w.(k)
+let total_mass t = Array.fold_left ( +. ) 0. t.w
+let missing_mass t = Float.max 0. (1. -. total_mass t)
+
+let normalize t =
+  let z = total_mass t in
+  if z <= 0. then invalid_arg "Discrete.normalize: zero total mass";
+  { w = Array.map (fun x -> x /. z) t.w }
+
+let mean t =
+  let z = total_mass t in
+  if z <= 0. then 0.
+  else begin
+    let s = ref 0. in
+    Array.iteri (fun k x -> s := !s +. (float_of_int k *. x)) t.w;
+    !s /. z
+  end
+
+let variance t =
+  let z = total_mass t in
+  if z <= 0. then 0.
+  else begin
+    let m = mean t in
+    let s = ref 0. in
+    Array.iteri
+      (fun k x ->
+        let d = float_of_int k -. m in
+        s := !s +. (d *. d *. x))
+      t.w;
+    !s /. z
+  end
+
+let expectation t f =
+  let s = ref 0. in
+  Array.iteri (fun k x -> s := !s +. (x *. f k)) t.w;
+  !s
+
+let cdf t k =
+  let s = ref 0. in
+  for i = 0 to min k (support_size t - 1) do
+    s := !s +. t.w.(i)
+  done;
+  !s
+
+let mode t =
+  let best = ref 0 in
+  Array.iteri (fun k x -> if x > t.w.(!best) then best := k) t.w;
+  !best
+
+let total_variation a b =
+  if support_size a <> support_size b then
+    invalid_arg "Discrete.total_variation: support size mismatch";
+  let s = ref 0. in
+  Array.iteri (fun k x -> s := !s +. Float.abs (x -. b.w.(k))) a.w;
+  0.5 *. !s
+
+let map_support t f m =
+  let w = Array.make m 0. in
+  Array.iteri
+    (fun k x ->
+      let k' = f k in
+      if k' < 0 || k' >= m then invalid_arg "Discrete.map_support: image out of range";
+      w.(k') <- w.(k') +. x)
+    t.w;
+  { w }
+
+let to_array t = Array.copy t.w

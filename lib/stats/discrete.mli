@@ -1,0 +1,52 @@
+(** Finite discrete distributions over integer support [0 .. n-1].
+
+    The mate distributions [D(i, ·)] of §5 of the paper are objects of this
+    kind (sub-probabilities: some mass may be "unmatched").  Operations stay
+    total-mass-aware so truncated distributions are handled honestly. *)
+
+type t
+
+val of_weights : float array -> t
+(** Wrap a non-negative weight vector; weights are NOT normalised, so a
+    sub-probability (total < 1) is representable.  Negative entries raise. *)
+
+val uniform : int -> t
+(** Uniform probability over [0 .. n-1]. *)
+
+val point : n:int -> int -> t
+(** Unit mass at one outcome. *)
+
+val support_size : t -> int
+val mass : t -> int -> float
+val total_mass : t -> float
+
+val missing_mass : t -> float
+(** [max 0 (1 - total_mass)] — e.g. the probability of staying unmatched. *)
+
+val normalize : t -> t
+(** Rescale to total mass 1.  Raises on zero total mass. *)
+
+val mean : t -> float
+(** Expectation of the outcome index, conditional on being in the support
+    (i.e. computed against the normalised distribution). *)
+
+val variance : t -> float
+(** Variance, conditional on being in the support. *)
+
+val expectation : t -> (int -> float) -> float
+(** Unconditional expectation [Σ_k mass(k) · f(k)] (missing mass
+    contributes 0). *)
+
+val cdf : t -> int -> float
+(** Mass at outcomes [<= k]. *)
+
+val mode : t -> int
+val total_variation : t -> t -> float
+(** ½ Σ |p - q| over the common support (supports must have equal size). *)
+
+val map_support : t -> (int -> int) -> int -> t
+(** [map_support d f m] pushes the mass forward through [f] into a new
+    support of size [m]. *)
+
+val to_array : t -> float array
+(** Copy of the raw weights. *)

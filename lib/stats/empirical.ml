@@ -1,0 +1,49 @@
+type t = { sorted : float array }
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Empirical.of_samples: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+
+(* Number of samples <= x, by binary search for the last index with
+   sorted.(i) <= x. *)
+let rank t x =
+  let a = t.sorted in
+  let n = Array.length a in
+  if x < a.(0) then 0
+  else if x >= a.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: a.(lo) <= x < a.(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if a.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo + 1
+  end
+
+let cdf t x = float_of_int (rank t x) /. float_of_int (size t)
+
+let quantile t q = Summary.quantile t.sorted q
+
+let ks_distance t1 t2 =
+  let worst = ref 0. in
+  let probe t = Array.iter (fun x -> worst := Float.max !worst (Float.abs (cdf t1 x -. cdf t2 x))) t.sorted in
+  probe t1;
+  probe t2;
+  !worst
+
+let ks_distance_to t f =
+  let n = float_of_int (size t) in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let reference = f x in
+      let upper = (float_of_int (i + 1) /. n) -. reference in
+      let lower = reference -. (float_of_int i /. n) in
+      worst := Float.max !worst (Float.max upper lower))
+    t.sorted;
+  !worst

@@ -1,0 +1,21 @@
+(** Empirical cumulative distribution functions. *)
+
+type t
+
+val of_samples : float array -> t
+(** Build from raw samples (sorted internally).  Raises on empty input. *)
+
+val cdf : t -> float -> float
+(** Fraction of samples [<= x]. *)
+
+val quantile : t -> float -> float
+(** Inverse CDF with linear interpolation, [q] clamped to [0,1]. *)
+
+val size : t -> int
+
+val ks_distance : t -> t -> float
+(** Two-sample Kolmogorov–Smirnov statistic [sup |F1 - F2|]. *)
+
+val ks_distance_to : t -> (float -> float) -> float
+(** One-sample KS statistic against a reference CDF, evaluated at the sample
+    points (both one-sided gaps are considered). *)

@@ -1,0 +1,69 @@
+type scale = Linear | Log
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  counts : float array;
+  mutable under : float;
+  mutable over : float;
+}
+
+let create_linear ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram: need at least one bin";
+  if not (hi > lo) then invalid_arg "Histogram: need hi > lo";
+  { scale = Linear; lo; hi; counts = Array.make bins 0.; under = 0.; over = 0. }
+
+let create_log ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram: need at least one bin";
+  if not (lo > 0. && hi > lo) then invalid_arg "Histogram: need 0 < lo < hi";
+  { scale = Log; lo; hi; counts = Array.make bins 0.; under = 0.; over = 0. }
+
+let position t x =
+  match t.scale with
+  | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
+  | Log -> if x <= 0. then -1. else log (x /. t.lo) /. log (t.hi /. t.lo)
+
+let add_weighted t x w =
+  let pos = position t x in
+  if pos < 0. then t.under <- t.under +. w
+  else if pos >= 1. then t.over <- t.over +. w
+  else begin
+    let b = int_of_float (pos *. float_of_int (Array.length t.counts)) in
+    let b = min b (Array.length t.counts - 1) in
+    t.counts.(b) <- t.counts.(b) +. w
+  end
+
+let add t x = add_weighted t x 1.
+
+let bins t = Array.length t.counts
+let count t b = t.counts.(b)
+let total t = Array.fold_left ( +. ) 0. t.counts
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_edges t b =
+  let k = Array.length t.counts in
+  if b < 0 || b >= k then invalid_arg "Histogram.bin_edges: bin out of range";
+  let frac i = float_of_int i /. float_of_int k in
+  match t.scale with
+  | Linear ->
+      let width = t.hi -. t.lo in
+      (t.lo +. (frac b *. width), t.lo +. (frac (b + 1) *. width))
+  | Log ->
+      let ratio = t.hi /. t.lo in
+      (t.lo *. Float.pow ratio (frac b), t.lo *. Float.pow ratio (frac (b + 1)))
+
+let bin_center t b =
+  let lo, hi = bin_edges t b in
+  match t.scale with Linear -> 0.5 *. (lo +. hi) | Log -> sqrt (lo *. hi)
+
+let density t b =
+  let lo, hi = bin_edges t b in
+  let mass = total t in
+  if mass <= 0. then 0. else t.counts.(b) /. mass /. (hi -. lo)
+
+let normalized t =
+  let mass = total t in
+  if mass <= 0. then Array.make (bins t) 0.
+  else Array.map (fun c -> c /. mass) t.counts

@@ -1,0 +1,40 @@
+(** Fixed-bin histograms over floats, with linear or logarithmic bin edges.
+
+    Log-binned histograms are what Fig 10/11 of the paper need: bandwidths
+    span four decades. *)
+
+type t
+
+val create_linear : lo:float -> hi:float -> bins:int -> t
+(** Equal-width bins covering [lo, hi).  Out-of-range samples are counted in
+    the overflow/underflow tallies, not in any bin. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Bins with equal width in log-space; [lo] must be positive. *)
+
+val add : t -> float -> unit
+val add_weighted : t -> float -> float -> unit
+
+val bins : t -> int
+val count : t -> int -> float
+(** Weight accumulated in a bin. *)
+
+val total : t -> float
+(** Total in-range weight. *)
+
+val underflow : t -> float
+val overflow : t -> float
+
+val bin_edges : t -> int -> float * float
+(** Inclusive-exclusive edges of a bin. *)
+
+val bin_center : t -> int -> float
+(** Arithmetic centre for linear bins, geometric centre for log bins. *)
+
+val density : t -> int -> float
+(** Weight per unit of x in a bin, normalised by total in-range weight
+    (integrates to 1 over the covered range when there is no out-of-range
+    mass). *)
+
+val normalized : t -> float array
+(** Per-bin probabilities (in-range mass only). *)

@@ -1,0 +1,32 @@
+type fit = { slope : float; intercept : float; r_squared : float }
+
+let fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Linreg.fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0. points /. fn in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. points /. fn in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. sx and dy = y -. sy in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  if !sxx <= 0. then invalid_arg "Linreg.fit: need at least two distinct x values";
+  let slope = !sxy /. !sxx in
+  let intercept = sy -. (slope *. sx) in
+  let r_squared = if !syy <= 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r_squared }
+
+let fit_loglog points =
+  let usable =
+    Array.of_list
+      (List.filter_map
+         (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
+         (Array.to_list points))
+  in
+  fit usable
+
+let predict f x = (f.slope *. x) +. f.intercept

@@ -1,0 +1,21 @@
+(** Least-squares line fitting.
+
+    Used for empirical scaling laws: fitting
+    [log(time-to-converge) ~ a·log n + b] over the convergence-speed
+    sweeps. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** coefficient of determination *)
+}
+
+val fit : (float * float) array -> fit
+(** Ordinary least squares on (x, y) points.  Raises [Invalid_argument]
+    with fewer than two distinct x values. *)
+
+val fit_loglog : (float * float) array -> fit
+(** OLS on (log x, log y): [slope] is the power-law exponent.  Points with
+    non-positive coordinates are dropped. *)
+
+val predict : fit -> float -> float

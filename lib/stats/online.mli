@@ -1,0 +1,30 @@
+(** Streaming moment accumulator (Welford's algorithm).
+
+    Numerically stable running mean/variance, plus min/max — used to
+    aggregate repeated simulation runs without storing them. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_many : t -> float array -> unit
+
+val merge : t -> t -> t
+(** Combine two accumulators as if their streams were concatenated
+    (Chan et al. parallel update). *)
+
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)

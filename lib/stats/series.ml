@@ -1,0 +1,66 @@
+type t = { label : string; points : (float * float) array }
+
+let make label points = { label; points }
+
+let of_ys label ?(x0 = 0.) ?(dx = 1.) ys =
+  { label; points = Array.mapi (fun i y -> (x0 +. (float_of_int i *. dx), y)) ys }
+
+let length t = Array.length t.points
+
+let eval t x =
+  let pts = t.points in
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Series.eval: empty series";
+  if x <= fst pts.(0) then snd pts.(0)
+  else if x >= fst pts.(n - 1) then snd pts.(n - 1)
+  else begin
+    (* binary search for segment containing x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fst pts.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0, y0 = pts.(!lo) and x1, y1 = pts.(!hi) in
+    if x1 = x0 then y0 else y0 +. ((x -. x0) /. (x1 -. x0) *. (y1 -. y0))
+  end
+
+let map_y f t = { t with points = Array.map (fun (x, y) -> (x, f y)) t.points }
+
+let resample t xs = { t with points = Array.map (fun x -> (x, eval t x)) xs }
+
+let area_between a b =
+  let xs =
+    Array.append (Array.map fst a.points) (Array.map fst b.points)
+  in
+  Array.sort compare xs;
+  if Array.length xs = 0 then 0.
+  else begin
+    let s = ref 0. in
+    Array.iter (fun x -> s := !s +. Float.abs (eval a x -. eval b x)) xs;
+    !s /. float_of_int (Array.length xs)
+  end
+
+let final_value t =
+  let n = Array.length t.points in
+  if n = 0 then invalid_arg "Series.final_value: empty series";
+  snd t.points.(n - 1)
+
+let fold_y f init t = Array.fold_left (fun acc (_, y) -> f acc y) init t.points
+let max_y t = fold_y Float.max neg_infinity t
+let min_y t = fold_y Float.min infinity t
+
+let first_x_below t threshold =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun (x, y) ->
+         if y <= threshold then begin
+           found := Some x;
+           raise Exit
+         end)
+       t.points
+   with Exit -> ());
+  !found
+
+let to_csv_rows t =
+  Array.to_list (Array.map (fun (x, y) -> Printf.sprintf "%.6g,%.6g" x y) t.points)

@@ -1,0 +1,35 @@
+(** (x, y) data series — the unit of "one curve in a paper figure". *)
+
+type t = { label : string; points : (float * float) array }
+
+val make : string -> (float * float) array -> t
+val of_ys : string -> ?x0:float -> ?dx:float -> float array -> t
+(** Attach implicit abscissae [x0 + i·dx] (defaults 0, 1). *)
+
+val length : t -> int
+
+val eval : t -> float -> float
+(** Piecewise-linear interpolation; clamps outside the x-range.  Requires
+    points sorted by x (as produced by the constructors of this library). *)
+
+val map_y : (float -> float) -> t -> t
+
+val resample : t -> float array -> t
+(** Evaluate at given abscissae. *)
+
+val area_between : t -> t -> float
+(** Mean absolute vertical gap between two curves over the union of their
+    x-samples — a scalar "how different are these two curves". *)
+
+val final_value : t -> float
+(** y of the last point. *)
+
+val max_y : t -> float
+val min_y : t -> float
+
+val first_x_below : t -> float -> float option
+(** Smallest sampled x whose y is [<=] the threshold (time-to-converge
+    readout). *)
+
+val to_csv_rows : t -> string list
+(** "x,y" rows (no header). *)

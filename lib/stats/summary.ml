@@ -1,0 +1,51 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p25 : float;
+  p75 : float;
+}
+
+let quantile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.quantile: empty array";
+  if q <= 0. then sorted.(0)
+  else if q >= 1. then sorted.(n - 1)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let frac = pos -. float_of_int lo in
+    if lo + 1 >= n then sorted.(n - 1)
+    else sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+  end
+
+let quantile xs q =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  quantile_sorted sorted q
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty array";
+  let acc = Online.create () in
+  Online.add_many acc xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    count = n;
+    mean = Online.mean acc;
+    stddev = Online.stddev acc;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = quantile_sorted sorted 0.5;
+    p25 = quantile_sorted sorted 0.25;
+    p75 = quantile_sorted sorted 0.75;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d mean=%.4g sd=%.4g min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g"
+    t.count t.mean t.stddev t.min t.p25 t.median t.p75 t.max

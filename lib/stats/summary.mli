@@ -1,0 +1,21 @@
+(** Batch descriptive statistics over float arrays. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p25 : float;
+  p75 : float;
+}
+
+val of_array : float array -> t
+(** Raises [Invalid_argument] on an empty array. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [0,1], with linear interpolation between
+    order statistics.  The input need not be sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  let width = List.length t.headers in
+  let len = List.length row in
+  if len > width then invalid_arg "Table.add_row: more cells than headers";
+  let padded = row @ List.init (width - len) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let default_float_fmt x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let add_float_row t ?(fmt = default_float_fmt) label values =
+  add_row t (label :: List.map fmt values);
+  t
+
+let all_rows t = t.headers :: List.rev t.rows
+
+let render t =
+  let rows = all_rows t in
+  let width = List.length t.headers in
+  let col_width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 rows
+  in
+  let widths = List.init width col_width in
+  let render_row row =
+    String.concat "  "
+      (List.map2 (fun cell w -> Printf.sprintf "%-*s" w cell) row widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  match rows with
+  | [] -> ""
+  | header :: body ->
+      String.concat "\n" ((render_row header :: sep :: List.map render_row body) @ [ "" ])
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  String.concat "\n"
+    (List.map (fun row -> String.concat "," (List.map csv_cell row)) (all_rows t))
+
+let pp fmt t = Format.pp_print_string fmt (render t)

@@ -1,0 +1,23 @@
+(** Plain-text table rendering (for experiment output and EXPERIMENTS.md). *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells; longer
+    rows raise. *)
+
+val add_float_row : t -> ?fmt:(float -> string) -> string -> float list -> t
+(** Convenience: a label cell followed by formatted floats.  Returns the
+    table for chaining. *)
+
+val render : t -> string
+(** Aligned ASCII rendering with a header separator. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering, one line per row, header first.  Cells
+    containing commas or quotes are quoted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,369 @@
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+module Discrete = Stratify_stats.Discrete
+module Series = Stratify_stats.Series
+open Stratify_core
+
+(* ------------------------------------------------------------------ *)
+(* One_matching (Algorithm 2)                                          *)
+
+let test_best_peer_row_is_geometric () =
+  (* For the best peer the recurrence collapses exactly:
+     D(0,j) = p(1-p)^(j-1). *)
+  let n = 50 and p = 0.2 in
+  let row = (One_matching.mate_distributions ~n ~p ~peers:[| 0 |]).(0) in
+  for j = 1 to n - 1 do
+    let expected = p *. Float.pow (1. -. p) (float_of_int (j - 1)) in
+    Helpers.check_close ~eps:1e-12 (Printf.sprintf "D(0,%d)" j) expected (Discrete.mass row j)
+  done;
+  Helpers.check_close "D(0,0) = 0" 0. (Discrete.mass row 0)
+
+let test_matrix_symmetric_subprobability () =
+  let n = 60 and p = 0.15 in
+  let m = One_matching.matrix ~n ~p in
+  for i = 0 to n - 1 do
+    let mass = ref 0. in
+    for j = 0 to n - 1 do
+      Helpers.check_close ~eps:1e-14 "symmetric" m.(i).(j) m.(j).(i);
+      Alcotest.(check bool) "non-negative" true (m.(i).(j) >= 0.);
+      mass := !mass +. m.(i).(j)
+    done;
+    Alcotest.(check bool) "row mass <= 1" true (!mass <= 1. +. 1e-9)
+  done;
+  Helpers.check_close "diagonal zero" 0. m.(7).(7)
+
+let test_row_mass_tends_to_one () =
+  (* Lemma 1: as peers are added below, any fixed peer finds a mate
+     almost surely. *)
+  let p = 0.1 in
+  let mass n = One_matching.match_probability ~n ~p ~peer:4 in
+  let m50 = mass 50 and m200 = mass 200 and m800 = mass 800 in
+  Alcotest.(check bool) "monotone in n" true (m50 <= m200 && m200 <= m800);
+  Alcotest.(check bool) (Printf.sprintf "near one (%.4f)" m800) true (m800 > 0.99)
+
+let test_worst_peer_matched_half_the_time () =
+  (* §5.3: the worst peer is matched in (about) half of the cases. *)
+  let n = 600 and p = 0.05 in
+  let mass = One_matching.match_probability ~n ~p ~peer:(n - 1) in
+  Helpers.check_close ~eps:0.02 "worst peer mass 1/2" 0.5 mass
+
+let test_middle_peer_symmetric_shift () =
+  (* §5.3 / Fig 8(b): for mid-rank peers the mate distribution is
+     symmetric around the peer and shifts with rank. *)
+  let n = 2000 and p = 0.01 in
+  let rows = One_matching.mate_distributions ~n ~p ~peers:[| 800; 1000 |] in
+  let mean0 = Discrete.mean rows.(0) and mean1 = Discrete.mean rows.(1) in
+  Helpers.check_close ~eps:12. "centred on peer 800" 800. mean0;
+  Helpers.check_close ~eps:12. "centred on peer 1000" 1000. mean1;
+  Helpers.check_close ~eps:12. "pure shift" 200. (mean1 -. mean0)
+
+let test_expectations_consistency () =
+  let n = 80 and p = 0.1 in
+  let m = One_matching.matrix ~n ~p in
+  let value j = float_of_int (j * j) in
+  let e, mass = One_matching.expectations ~n ~p ~value in
+  for i = 0 to n - 1 do
+    let expected_e = ref 0. and expected_mass = ref 0. in
+    for j = 0 to n - 1 do
+      expected_e := !expected_e +. (m.(i).(j) *. value j);
+      expected_mass := !expected_mass +. m.(i).(j)
+    done;
+    Helpers.check_close ~eps:1e-10 "expectation" !expected_e e.(i);
+    Helpers.check_close ~eps:1e-10 "mass" !expected_mass mass.(i)
+  done
+
+let test_monte_carlo_agreement_1matching () =
+  (* Simulate the real stable matching on G(n,p) and compare empirical
+     pair frequencies with Algorithm 2 (Assumption 1 is approximate but
+     tight at small p). *)
+  let n = 60 and p = 0.08 and runs = 4000 in
+  let rng = Helpers.rng ~seed:99 () in
+  let counts = Array.make_matrix n n 0 in
+  for _ = 1 to runs do
+    let adj = Gen.gnp_adjacency rng ~n ~p in
+    let inst = Instance.of_adjacency ~adj ~b:(Array.make n 1) () in
+    let partner = Greedy.stable_partners_array inst in
+    Array.iteri (fun i j -> if j > i then counts.(i).(j) <- counts.(i).(j) + 1) partner
+  done;
+  let model = One_matching.matrix ~n ~p in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let freq = float_of_int counts.(i).(j) /. float_of_int runs in
+      worst := Float.max !worst (Float.abs (freq -. model.(i).(j)))
+    done
+  done;
+  (* Sampling noise at 4000 runs is ~0.008 for p~0.1 cells. *)
+  Alcotest.(check bool) (Printf.sprintf "max gap %.4f < 0.025" !worst) true (!worst < 0.025)
+
+(* ------------------------------------------------------------------ *)
+(* Exact_small & Fig 7                                                 *)
+
+let test_fig7_closed_forms () =
+  let p = 0.3 in
+  let exact = Exact_small.mate_matrix ~n:3 ~p ~b0:1 in
+  let d12, d13, d23 = Exact_small.fig7_exact ~p in
+  Helpers.check_close ~eps:1e-12 "D(1,2)" d12 exact.(0).(1);
+  Helpers.check_close ~eps:1e-12 "D(1,3)" d13 exact.(0).(2);
+  Helpers.check_close ~eps:1e-12 "D(2,3)" d23 exact.(1).(2)
+
+let test_fig7_approximation_error () =
+  (* Algorithm 2 overestimates D(2,3) by exactly p^3(1-p). *)
+  List.iter
+    (fun p ->
+      let exact = Exact_small.mate_matrix ~n:3 ~p ~b0:1 in
+      let approx = One_matching.matrix ~n:3 ~p in
+      let gap = approx.(1).(2) -. exact.(1).(2) in
+      Helpers.check_close ~eps:1e-12
+        (Printf.sprintf "gap at p=%.2f" p)
+        (Exact_small.fig7_approximation_error ~p)
+        gap;
+      (* The two pairs involving the best peer are exact. *)
+      Helpers.check_close ~eps:1e-12 "D(1,2) exact" exact.(0).(1) approx.(0).(1);
+      Helpers.check_close ~eps:1e-12 "D(1,3) exact" exact.(0).(2) approx.(0).(2))
+    [ 0.1; 0.3; 0.5; 0.9 ]
+
+let test_exact_small_masses () =
+  (* Each row of the exact matrix is a sub-probability; the weights over
+     all graphs sum to 1 so nothing exceeds it. *)
+  let m = Exact_small.mate_matrix ~n:5 ~p:0.4 ~b0:2 in
+  Array.iteri
+    (fun i row ->
+      let mass = Array.fold_left ( +. ) 0. row in
+      Alcotest.(check bool) (Printf.sprintf "row %d mass <= b0" i) true (mass <= 2. +. 1e-9);
+      Helpers.check_close "no self mass" 0. row.(i))
+    m
+
+let test_exact_small_symmetry_pairwise () =
+  (* Mate relation is symmetric even though choice indices are not. *)
+  let m = Exact_small.mate_matrix ~n:5 ~p:0.35 ~b0:2 in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      Helpers.check_close ~eps:1e-12 "symmetric" m.(i).(j) m.(j).(i)
+    done
+  done
+
+let test_exact_choice_marginals_sum () =
+  let b0 = 2 in
+  let per_choice = Exact_small.choice_matrices ~n:5 ~p:0.3 ~b0 in
+  let total = Exact_small.mate_matrix ~n:5 ~p:0.3 ~b0 in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      let s = ref 0. in
+      for c = 0 to b0 - 1 do
+        s := !s +. per_choice.(c).(i).(j)
+      done;
+      Helpers.check_close ~eps:1e-12 "choices sum to mate prob" total.(i).(j) !s
+    done
+  done
+
+let test_exact_small_guards () =
+  Alcotest.check_raises "n too large"
+    (Invalid_argument "Exact_small: n too large for exhaustive enumeration") (fun () ->
+      ignore (Exact_small.mate_matrix ~n:8 ~p:0.5 ~b0:1))
+
+(* ------------------------------------------------------------------ *)
+(* B_matching (Algorithm 3)                                            *)
+
+let test_b_matching_reduces_to_one () =
+  let gap = B_matching.reduces_to_one_matching ~n:120 ~p:0.1 in
+  Alcotest.(check bool) (Printf.sprintf "b0=1 gap %.2e" gap) true (gap < 1e-12)
+
+let test_choice_distributions_shapes () =
+  let n = 300 and p = 0.05 and b0 = 3 in
+  let rows = B_matching.choice_distributions ~n ~p ~b0 ~peer:150 in
+  Alcotest.(check int) "b0 rows" b0 (Array.length rows);
+  let masses = Array.map Discrete.total_mass rows in
+  (* Choice c+1 can only be filled if choice c was: masses decrease. *)
+  for c = 0 to b0 - 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "mass c%d >= c%d" (c + 1) (c + 2))
+      true
+      (masses.(c) >= masses.(c + 1) -. 1e-12)
+  done;
+  Array.iter (fun m -> Alcotest.(check bool) "mass <= 1" true (m <= 1. +. 1e-9)) masses;
+  (* First choice is the best mate: its mean rank must be the smallest. *)
+  Alcotest.(check bool) "choice 1 better than choice 3" true
+    (Discrete.mean rows.(0) < Discrete.mean rows.(b0 - 1))
+
+let test_b_matching_vs_exact_small () =
+  (* The independence approximation is decent already at n=6. *)
+  let n = 6 and b0 = 2 and p = 0.3 in
+  let exact = Exact_small.choice_matrices ~n ~p ~b0 in
+  let approx = Array.init b0 (fun _ -> Array.make_matrix n n 0.) in
+  B_matching.sweep ~n ~p ~b0 ~f:(fun i j di dj ->
+      for c = 0 to b0 - 1 do
+        approx.(c).(i).(j) <- di.(c);
+        approx.(c).(j).(i) <- dj.(c)
+      done);
+  let worst = ref 0. in
+  for c = 0 to b0 - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        worst := Float.max !worst (Float.abs (exact.(c).(i).(j) -. approx.(c).(i).(j)))
+      done
+    done
+  done;
+  Alcotest.(check bool) (Printf.sprintf "max gap %.4f" !worst) true (!worst < 0.08)
+
+let test_b_matching_mate_count () =
+  let n = 300 and p = 0.08 and b0 = 3 in
+  let mass_mid = B_matching.mate_count_mass ~n ~p ~b0 ~peer:150 in
+  Alcotest.(check bool) "at most b0" true (mass_mid <= float_of_int b0 +. 1e-9);
+  Alcotest.(check bool) (Printf.sprintf "mid peer nearly full (%.3f)" mass_mid) true
+    (mass_mid > 2.5)
+
+let test_b_matching_expectations_consistency () =
+  let n = 40 and p = 0.2 and b0 = 2 in
+  let value j = float_of_int j in
+  let e, mass = B_matching.expectations ~n ~p ~b0 ~value in
+  (* Recompute from per-peer distributions. *)
+  for peer = 0 to n - 1 do
+    let rows = B_matching.choice_distributions ~n ~p ~b0 ~peer in
+    let expected_e = Array.fold_left (fun acc r -> acc +. Discrete.expectation r value) 0. rows in
+    let expected_mass = Array.fold_left (fun acc r -> acc +. Discrete.total_mass r) 0. rows in
+    Helpers.check_close ~eps:1e-10 "expectation" expected_e e.(peer);
+    Helpers.check_close ~eps:1e-10 "mass" expected_mass mass.(peer)
+  done
+
+let test_monte_carlo_agreement_2matching () =
+  (* Fig 9 in miniature: simulate G(n,p) 2-matchings, compare first and
+     second choice frequencies for a mid peer with Algorithm 3. *)
+  let n = 80 and p = 0.07 and b0 = 2 and runs = 3000 in
+  let rng = Helpers.rng ~seed:123 () in
+  let counts = Array.init b0 (fun _ -> Array.make_matrix n n 0) in
+  for _ = 1 to runs do
+    let adj = Gen.gnp_adjacency rng ~n ~p in
+    let inst = Instance.of_adjacency ~adj ~b:(Array.make n b0) () in
+    let config = Greedy.stable_config inst in
+    for i = 0 to n - 1 do
+      List.iteri
+        (fun c j -> counts.(c).(i).(j) <- counts.(c).(i).(j) + 1)
+        (Config.mates config i)
+    done
+  done;
+  let approx = Array.init b0 (fun _ -> Array.make_matrix n n 0.) in
+  B_matching.sweep ~n ~p ~b0 ~f:(fun i j di dj ->
+      for c = 0 to b0 - 1 do
+        approx.(c).(i).(j) <- di.(c);
+        approx.(c).(j).(i) <- dj.(c)
+      done);
+  let worst = ref 0. in
+  for c = 0 to b0 - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let freq = float_of_int counts.(c).(i).(j) /. float_of_int runs in
+        worst := Float.max !worst (Float.abs (freq -. approx.(c).(i).(j)))
+      done
+    done
+  done;
+  Alcotest.(check bool) (Printf.sprintf "max gap %.4f < 0.035" !worst) true (!worst < 0.035)
+
+let test_expected_offsets () =
+  let n = 1500 and p = 0.02 in
+  let offsets = One_matching.expected_offsets ~n ~p in
+  (* Best peer: geometric with success p, mean 1/p. *)
+  Helpers.check_close_rel ~rel:0.02 "best peer offset 1/p" (1. /. p) offsets.(0);
+  (* Mid peers: symmetric two-sided law with heavier combined tails than
+     the best peer's one-sided geometric (measured ~1.38/p), flat across
+     the middle (shift invariance). *)
+  Alcotest.(check bool) "mid heavier than best" true
+    (offsets.(n / 2) > offsets.(0) && offsets.(n / 2) < 2. /. p);
+  Helpers.check_close_rel ~rel:0.05 "flat middle" offsets.(n / 2) offsets.(2 * n / 5);
+  (* Offsets scale like 1/p = n/d: doubling p halves the offset. *)
+  let offsets2 = One_matching.expected_offsets ~n ~p:(2. *. p) in
+  Helpers.check_close_rel ~rel:0.1 "offset ~ 1/p" (offsets.(n / 2) /. 2.) offsets2.(n / 2)
+
+let test_joint_consistency () =
+  (* Row/column sums of the joint recover the marginals, and the joint is
+     symmetric under (i,ci) <-> (j,cj) by construction. *)
+  let n = 40 and p = 0.2 and b0 = 3 in
+  let marginals_i = Array.make_matrix b0 (n * n) 0. in
+  let marginals_j = Array.make_matrix b0 (n * n) 0. in
+  B_matching.sweep ~n ~p ~b0 ~f:(fun i j di dj ->
+      for c = 0 to b0 - 1 do
+        marginals_i.(c).((i * n) + j) <- di.(c);
+        marginals_j.(c).((i * n) + j) <- dj.(c)
+      done);
+  B_matching.sweep_joint ~n ~p ~b0 ~f:(fun i j joint ->
+      for ci = 0 to b0 - 1 do
+        let row_sum = Array.fold_left ( +. ) 0. joint.(ci) in
+        Helpers.check_close ~eps:1e-12 "row sum = D_ci(i,j)" marginals_i.(ci).((i * n) + j)
+          row_sum
+      done;
+      for cj = 0 to b0 - 1 do
+        let col_sum = ref 0. in
+        for ci = 0 to b0 - 1 do
+          col_sum := !col_sum +. joint.(ci).(cj)
+        done;
+        Helpers.check_close ~eps:1e-12 "col sum = D_cj(j,i)" marginals_j.(cj).((i * n) + j)
+          !col_sum
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Fluid limit                                                         *)
+
+let test_fluid_density_properties () =
+  let d = 20. in
+  Helpers.check_close "at zero" d (Fluid.density ~d 0.);
+  Helpers.check_close "below zero" 0. (Fluid.density ~d (-0.1));
+  Helpers.check_close "cdf inf" 1. (Fluid.cdf ~d 10.);
+  Helpers.check_close "mean" 0.05 (Fluid.mean_offset ~d);
+  (* numeric integral of the density over [0, 2] ~ 1 *)
+  let steps = 20_000 in
+  let h = 2. /. float_of_int steps in
+  let integral = ref 0. in
+  for k = 0 to steps - 1 do
+    integral := !integral +. (h *. Fluid.density ~d ((float_of_int k +. 0.5) *. h))
+  done;
+  Helpers.check_close ~eps:1e-6 "integral" 1. !integral
+
+let test_fluid_convergence () =
+  let d = 10. in
+  let gap_small = Fluid.max_gap_to_limit ~n:200 ~d in
+  let gap_large = Fluid.max_gap_to_limit ~n:1600 ~d in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap shrinks: %.4f -> %.4f" gap_small gap_large)
+    true
+    (gap_large < gap_small && gap_large < 0.2)
+
+let test_fluid_series_shape () =
+  let s = Fluid.scaled_best_peer_series ~n:400 ~d:10. in
+  Alcotest.(check int) "length" 399 (Series.length s);
+  (* Density at beta=0 should be close to d. *)
+  Alcotest.(check bool) "starts near d" true (Float.abs (snd s.Series.points.(0) -. 10.) < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "best peer row is geometric" `Quick test_best_peer_row_is_geometric;
+    Alcotest.test_case "matrix symmetric sub-probability" `Quick test_matrix_symmetric_subprobability;
+    Alcotest.test_case "row mass tends to one (Lemma 1)" `Quick test_row_mass_tends_to_one;
+    Alcotest.test_case "worst peer matched half the time" `Quick
+      test_worst_peer_matched_half_the_time;
+    Alcotest.test_case "middle peers: symmetric shifting (Fig 8b)" `Quick
+      test_middle_peer_symmetric_shift;
+    Alcotest.test_case "expectations consistency" `Quick test_expectations_consistency;
+    Alcotest.test_case "Monte-Carlo agreement, 1-matching" `Slow
+      test_monte_carlo_agreement_1matching;
+    Alcotest.test_case "Fig 7 closed forms" `Quick test_fig7_closed_forms;
+    Alcotest.test_case "Fig 7 approximation error p^3(1-p)" `Quick test_fig7_approximation_error;
+    Alcotest.test_case "exact enumeration masses" `Quick test_exact_small_masses;
+    Alcotest.test_case "exact mate symmetry" `Quick test_exact_small_symmetry_pairwise;
+    Alcotest.test_case "choice marginals sum to mate probability" `Quick
+      test_exact_choice_marginals_sum;
+    Alcotest.test_case "exact enumeration guards" `Quick test_exact_small_guards;
+    Alcotest.test_case "Algorithm 3 reduces to Algorithm 2 at b0=1" `Quick
+      test_b_matching_reduces_to_one;
+    Alcotest.test_case "choice distribution shapes" `Quick test_choice_distributions_shapes;
+    Alcotest.test_case "Algorithm 3 vs exact enumeration" `Quick test_b_matching_vs_exact_small;
+    Alcotest.test_case "expected mate count" `Quick test_b_matching_mate_count;
+    Alcotest.test_case "b-matching expectations consistency" `Quick
+      test_b_matching_expectations_consistency;
+    Alcotest.test_case "Monte-Carlo agreement, 2-matching (Fig 9)" `Slow
+      test_monte_carlo_agreement_2matching;
+    Alcotest.test_case "joint choice distributions consistent" `Quick test_joint_consistency;
+    Alcotest.test_case "expected rank offsets (model MMO)" `Quick test_expected_offsets;
+    Alcotest.test_case "fluid density properties" `Quick test_fluid_density_properties;
+    Alcotest.test_case "fluid limit convergence (Conjecture 1)" `Quick test_fluid_convergence;
+    Alcotest.test_case "fluid series shape" `Quick test_fluid_series_shape;
+  ]

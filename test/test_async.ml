@@ -1,0 +1,224 @@
+(* Tests for the discrete-event substrate and the asynchronous
+   message-passing initiative protocol. *)
+
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+module Pqueue = Stratify_des.Pqueue
+module Engine = Stratify_des.Engine
+module Series = Stratify_stats.Series
+open Stratify_core
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  List.iter (fun (pr, v) -> Pqueue.push q ~priority:pr v) [ (3., "c"); (1., "a"); (2., "b") ];
+  Alcotest.(check int) "size" 3 (Pqueue.size q);
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1., "a")) (Pqueue.peek q);
+  Alcotest.(check (option (pair (float 0.) string))) "pop a" (Some (1., "a")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.) string))) "pop b" (Some (2., "b")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.) string))) "pop c" (Some (3., "c")) (Pqueue.pop q);
+  Alcotest.(check bool) "drained" true (Pqueue.pop q = None)
+
+let test_pqueue_stable_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~priority:7. v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4 ] order
+
+let test_pqueue_random_heap_property () =
+  let rng = Helpers.rng () in
+  let q = Pqueue.create () in
+  let reference = ref [] in
+  for _ = 1 to 2000 do
+    let pr = Rng.unit_float rng in
+    Pqueue.push q ~priority:pr ();
+    reference := pr :: !reference
+  done;
+  let sorted = List.sort compare !reference in
+  List.iter
+    (fun expected ->
+      match Pqueue.pop q with
+      | Some (pr, ()) -> Helpers.check_close "heap order" expected pr
+      | None -> Alcotest.fail "queue exhausted early")
+    sorted;
+  Alcotest.(check bool) "empty at end" true (Pqueue.is_empty q)
+
+let test_pqueue_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~priority:5. 5;
+  Pqueue.push q ~priority:1. 1;
+  Alcotest.(check (option (pair (float 0.) int))) "pop 1" (Some (1., 1)) (Pqueue.pop q);
+  Pqueue.push q ~priority:0.5 0;
+  Alcotest.(check (option (pair (float 0.) int))) "pop 0" (Some (0.5, 0)) (Pqueue.pop q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_clock_and_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2. (fun e -> log := ("b", Engine.now e) :: !log);
+  Engine.schedule e ~delay:1. (fun e -> log := ("a", Engine.now e) :: !log);
+  Engine.schedule e ~delay:3. (fun e -> log := ("c", Engine.now e) :: !log);
+  Engine.run_until e ~time:2.5;
+  Alcotest.(check (list (pair string (float 1e-9)))) "two fired" [ ("a", 1.); ("b", 2.) ]
+    (List.rev !log);
+  Helpers.check_close "clock advanced" 2.5 (Engine.now e);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Alcotest.(check bool) "drain rest" true (Engine.drain e);
+  Alcotest.(check (list string)) "all fired" [ "a"; "b"; "c" ] (List.rev_map fst !log)
+
+let test_engine_cascading_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick depth engine =
+    incr count;
+    if depth > 0 then Engine.schedule engine ~delay:1. (tick (depth - 1))
+  in
+  Engine.schedule e ~delay:0. (tick 9);
+  Alcotest.(check bool) "drained" true (Engine.drain e);
+  Alcotest.(check int) "chain length" 10 !count;
+  Helpers.check_close "time advanced" 9. (Engine.now e)
+
+let test_engine_runaway_guard () =
+  let e = Engine.create () in
+  let rec forever engine = Engine.schedule engine ~delay:1. forever in
+  Engine.schedule e ~delay:0. forever;
+  Alcotest.(check bool) "budget stops it" false (Engine.drain ~max_events:1000 e)
+
+let test_engine_guards () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule e ~delay:(-1.) (fun _ -> ()));
+  Engine.run_until e ~time:5.;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time is in the past")
+    (fun () -> Engine.schedule_at e ~time:1. (fun _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Async dynamics                                                      *)
+
+let async_world ?(n = 150) ?(d = 10.) ?(seed = 42) ?(loss = 0.) ~latency () =
+  let rng = Rng.create seed in
+  let graph = Gen.gnd rng ~n ~d in
+  let inst = Instance.create ~graph ~b:(Array.make n 1) () in
+  let stable = Greedy.stable_config inst in
+  let a = Async_dynamics.create inst rng { Async_dynamics.latency; initiative_rate = 1.; loss } in
+  (inst, stable, a)
+
+let test_async_low_latency_converges () =
+  let _, stable, a = async_world ~latency:0.05 () in
+  Async_dynamics.run a ~horizon:120.;
+  Alcotest.(check bool) "drains" true (Async_dynamics.quiesce a);
+  let final = Async_dynamics.mutual_config a in
+  Alcotest.(check int) "no inconsistency" 0 (Async_dynamics.inconsistency_count a);
+  Helpers.check_close "reaches the stable configuration" 0.
+    (Disorder.disorder final ~stable);
+  Alcotest.(check bool) "stable" true (Blocking.is_stable final)
+
+let test_async_latency_degrades_gracefully () =
+  let disorder_at latency =
+    let _, stable, a = async_world ~latency () in
+    Async_dynamics.run a ~horizon:100.;
+    ignore (Async_dynamics.quiesce a);
+    Disorder.disorder (Async_dynamics.mutual_config a) ~stable
+  in
+  let fast = disorder_at 0.05 and slow = disorder_at 5. in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency hurts: %.4f < %.4f" fast slow)
+    true (fast < slow);
+  Alcotest.(check bool) "but bounded" true (slow < 0.6)
+
+let test_async_eventual_consistency () =
+  (* Even at brutal latency, quiescing leaves at most a handful of
+     one-sided listings (keepalive audits repair the rest while live). *)
+  let _, _, a = async_world ~latency:5. ~seed:7 () in
+  Async_dynamics.run a ~horizon:150.;
+  Alcotest.(check bool) "drains" true (Async_dynamics.quiesce a);
+  let incons = Async_dynamics.inconsistency_count a in
+  Alcotest.(check bool) (Printf.sprintf "inconsistency %d <= 4" incons) true (incons <= 4)
+
+let test_async_capacity_respected () =
+  (* Local capacity invariant holds at every sampled instant. *)
+  let inst, _, a = async_world ~latency:1. ~seed:9 () in
+  for _ = 1 to 20 do
+    Async_dynamics.run a ~horizon:5.;
+    let config = Async_dynamics.mutual_config a in
+    for p = 0 to Instance.n inst - 1 do
+      Alcotest.(check bool) "degree <= b" true (Config.degree config p <= Instance.slots inst p)
+    done
+  done
+
+let test_async_trajectory () =
+  let _, stable, a = async_world ~latency:0.1 ~seed:11 () in
+  let traj = Async_dynamics.disorder_trajectory a ~stable ~horizon:250. ~samples:25 in
+  Alcotest.(check int) "26 points" 26 (Series.length traj);
+  Alcotest.(check bool) "starts high" true (snd traj.Series.points.(0) > 0.5);
+  (* Random-strategy initiatives have a slow convergence tail; near-zero
+     suffices here (exact convergence is covered by the quiesced test). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "near stable (%.4f)" (Series.final_value traj))
+    true
+    (Series.final_value traj < 0.02);
+  Alcotest.(check bool) "messages flowed" true (Async_dynamics.messages_sent a > 1000)
+
+let test_async_message_loss () =
+  (* Failure injection: 15% of messages silently vanish.  Keepalive audits
+     keep the protocol safe - it still converges close to the stable
+     configuration, with losses actually recorded. *)
+  let _, stable, a = async_world ~latency:0.1 ~loss:0.15 ~seed:13 () in
+  Async_dynamics.run a ~horizon:250.;
+  Alcotest.(check bool) "drains" true (Async_dynamics.quiesce a);
+  Alcotest.(check bool) "losses happened" true (Async_dynamics.messages_lost a > 100);
+  let disorder = Disorder.disorder (Async_dynamics.mutual_config a) ~stable in
+  Alcotest.(check bool)
+    (Printf.sprintf "near stable despite loss (%.4f)" disorder)
+    true (disorder < 0.05);
+  Alcotest.(check bool) "few residual inconsistencies" true
+    (Async_dynamics.inconsistency_count a <= 6)
+
+let test_async_determinism () =
+  let run () =
+    let _, stable, a = async_world ~latency:0.5 ~seed:21 () in
+    Async_dynamics.run a ~horizon:50.;
+    (Async_dynamics.messages_sent a, Disorder.disorder (Async_dynamics.mutual_config a) ~stable)
+  in
+  Alcotest.(check bool) "bit-for-bit deterministic" true (run () = run ())
+
+let test_async_guards () =
+  let rng = Rng.create 1 in
+  let inst = Instance.create ~graph:(Gen.path 3) ~b:[| 1; 1; 1 |] () in
+  Alcotest.check_raises "negative latency" (Invalid_argument "Async_dynamics: negative latency")
+    (fun () ->
+      ignore (Async_dynamics.create inst rng { Async_dynamics.latency = -1.; initiative_rate = 1.; loss = 0. }));
+  Alcotest.check_raises "bad rate" (Invalid_argument "Async_dynamics: rate must be positive")
+    (fun () ->
+      ignore (Async_dynamics.create inst rng { Async_dynamics.latency = 0.1; initiative_rate = 0.; loss = 0. }));
+  Alcotest.check_raises "bad loss" (Invalid_argument "Async_dynamics: loss must be in [0,1)")
+    (fun () ->
+      ignore (Async_dynamics.create inst rng { Async_dynamics.latency = 0.1; initiative_rate = 1.; loss = 1. }))
+
+let suite =
+  [
+    Alcotest.test_case "pqueue ordering" `Quick test_pqueue_ordering;
+    Alcotest.test_case "pqueue stable ties" `Quick test_pqueue_stable_ties;
+    Alcotest.test_case "pqueue heap property (random)" `Quick test_pqueue_random_heap_property;
+    Alcotest.test_case "pqueue interleaved" `Quick test_pqueue_interleaved;
+    Alcotest.test_case "engine clock and order" `Quick test_engine_clock_and_order;
+    Alcotest.test_case "engine cascading events" `Quick test_engine_cascading_events;
+    Alcotest.test_case "engine runaway guard" `Quick test_engine_runaway_guard;
+    Alcotest.test_case "engine guards" `Quick test_engine_guards;
+    Alcotest.test_case "async: low latency converges" `Slow test_async_low_latency_converges;
+    Alcotest.test_case "async: latency degrades gracefully" `Slow
+      test_async_latency_degrades_gracefully;
+    Alcotest.test_case "async: eventual consistency" `Slow test_async_eventual_consistency;
+    Alcotest.test_case "async: capacity respected" `Slow test_async_capacity_respected;
+    Alcotest.test_case "async: disorder trajectory" `Slow test_async_trajectory;
+    Alcotest.test_case "async: survives message loss" `Slow test_async_message_loss;
+    Alcotest.test_case "async: deterministic per seed" `Slow test_async_determinism;
+    Alcotest.test_case "async: guards" `Quick test_async_guards;
+  ]

@@ -1,0 +1,48 @@
+(* End-to-end smoke tests: every registered experiment must run to
+   completion at a tiny scale (output goes to Alcotest's capture), and the
+   CSV export path must produce files.  This keeps the whole regeneration
+   harness from bitrotting. *)
+
+module E = Stratify_cli.Experiments
+
+let tiny = { E.seed = 7; scale = 0.05; csv_dir = None }
+
+let experiment_cases =
+  List.map
+    (fun (name, _description, run) ->
+      Alcotest.test_case (Printf.sprintf "experiment %s runs" name) `Slow (fun () ->
+          run tiny))
+    E.all
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "fig1 found" true (E.find "fig1" <> None);
+  Alcotest.(check bool) "unknown absent" true (E.find "fig99" = None);
+  (* Registry names are unique. *)
+  let names = List.map (fun (n, _, _) -> n) E.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "all figures and the table present" true
+    (List.for_all
+       (fun required -> List.mem required names)
+       [
+         "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "fig7"; "fig8"; "fig9";
+         "fig10"; "fig11";
+       ])
+
+let test_csv_export () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "stratify_test_csv" in
+  (match E.find "fig7" with
+  | Some run -> run { E.seed = 7; scale = 0.05; csv_dir = Some dir }
+  | None -> Alcotest.fail "fig7 missing");
+  let path = Filename.concat dir "fig7.csv" in
+  Alcotest.(check bool) "csv written" true (Sys.file_exists path);
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "has header" true (String.length header > 0);
+  Sys.remove path
+
+let suite =
+  Alcotest.test_case "registry lookup" `Quick test_registry_lookup
+  :: Alcotest.test_case "csv export" `Quick test_csv_export
+  :: experiment_cases

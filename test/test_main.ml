@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "stratify"
+    [
+      ("prng", Test_prng.suite);
+      ("graph", Test_graph.suite);
+      ("stats", Test_stats.suite);
+      ("matching", Test_matching.suite);
+      ("dynamics", Test_dynamics.suite);
+      ("stratification", Test_stratification.suite);
+      ("analytic", Test_analytic.suite);
+      ("bandwidth", Test_bandwidth.suite);
+      ("bittorrent", Test_bittorrent.suite);
+      ("extensions", Test_extensions.suite);
+      ("applications", Test_applications.suite);
+      ("async", Test_async.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,601 @@
+module Rng = Stratify_prng.Rng
+module Dist = Stratify_prng.Dist
+module Gen = Stratify_graph.Gen
+module U = Stratify_graph.Undirected
+open Stratify_core
+
+(* ------------------------------------------------------------------ *)
+(* Ranking                                                             *)
+
+let test_ranking_of_scores () =
+  let r = Ranking.of_scores [| 1.5; 9.; 4. |] in
+  Alcotest.(check int) "best peer" 1 (Ranking.peer_at r 0);
+  Alcotest.(check int) "middle peer" 2 (Ranking.peer_at r 1);
+  Alcotest.(check int) "worst peer" 0 (Ranking.peer_at r 2);
+  Alcotest.(check int) "rank of 9." 0 (Ranking.rank r 1);
+  Alcotest.(check bool) "prefers" true (Ranking.prefers r 1 0);
+  Alcotest.(check bool) "not identity" false (Ranking.is_identity r)
+
+let test_ranking_ties_rejected () =
+  match Ranking.of_scores [| 1.; 2.; 1. |] with
+  | exception Ranking.Ties (a, b) ->
+      Alcotest.(check bool) "tie peers" true ((a = 0 && b = 2) || (a = 2 && b = 0))
+  | _ -> Alcotest.fail "expected Ties"
+
+let test_ranking_identity () =
+  let r = Ranking.identity 5 in
+  Alcotest.(check bool) "identity" true (Ranking.is_identity r);
+  for i = 0 to 4 do
+    Alcotest.(check int) "rank = id" i (Ranking.rank r i)
+  done;
+  Alcotest.(check int) "compare" (-1)
+    (compare (Ranking.compare_peers r 0 3) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+
+let test_instance_relabeling () =
+  (* Peers 0,1,2 with scores making 2 the best; edge set {0-2, 1-2}. *)
+  let g = U.create 3 in
+  ignore (U.add_edge g 0 2);
+  ignore (U.add_edge g 1 2);
+  let ranking = Ranking.of_scores [| 5.; 1.; 9. |] in
+  (* ranks: peer2 -> 0, peer0 -> 1, peer1 -> 2 *)
+  let inst = Instance.create ~ranking ~graph:g ~b:[| 1; 2; 3 |] () in
+  Alcotest.(check int) "n" 3 (Instance.n inst);
+  Alcotest.(check int) "best peer budget" 3 (Instance.slots inst 0);
+  Alcotest.(check int) "slot total" 6 (Instance.slot_total inst);
+  (* Rank 0 (= original peer 2) accepts ranks 1 and 2. *)
+  Alcotest.(check (array int)) "acceptance best" [| 1; 2 |] (Instance.acceptable inst 0);
+  Alcotest.(check (array int)) "acceptance rank1" [| 0 |] (Instance.acceptable inst 1);
+  Alcotest.(check bool) "accepts" true (Instance.accepts inst 2 0);
+  Alcotest.(check bool) "not accepts" false (Instance.accepts inst 1 2);
+  Alcotest.(check int) "rank->id" 2 (Instance.rank_to_id inst 0);
+  Alcotest.(check int) "id->rank" 0 (Instance.id_to_rank inst 2)
+
+let test_instance_validation () =
+  let g = U.create 2 in
+  Alcotest.check_raises "negative budget" (Invalid_argument "Instance: negative slot budget")
+    (fun () -> ignore (Instance.create ~graph:g ~b:[| 1; -1 |] ()));
+  Alcotest.check_raises "bad size" (Invalid_argument "Instance: |b| must equal the number of peers")
+    (fun () -> ignore (Instance.create ~graph:g ~b:[| 1 |] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+
+let line_instance n b =
+  (* path acceptance graph 0-1-2-...-(n-1) *)
+  Instance.create ~graph:(Gen.path n) ~b:(Array.make n b) ()
+
+let test_config_connect_disconnect () =
+  let inst = line_instance 4 2 in
+  let c = Config.empty inst in
+  Config.connect c 1 2;
+  Config.connect c 0 1;
+  Alcotest.(check int) "degree" 2 (Config.degree c 1);
+  Alcotest.(check (list int)) "mates best first" [ 0; 2 ] (Config.mates c 1);
+  Alcotest.(check bool) "mated" true (Config.mated c 2 1);
+  Alcotest.(check (option int)) "best" (Some 0) (Config.best_mate c 1);
+  Alcotest.(check (option int)) "worst" (Some 2) (Config.worst_mate c 1);
+  Alcotest.(check int) "edges" 2 (Config.edge_count c);
+  Config.disconnect c 1 2;
+  Alcotest.(check bool) "unmated" false (Config.mated c 1 2);
+  Alcotest.(check int) "edges after" 1 (Config.edge_count c)
+
+let test_config_guards () =
+  let inst = line_instance 4 1 in
+  let c = Config.empty inst in
+  Config.connect c 0 1;
+  Alcotest.check_raises "full" (Invalid_argument "Config.connect: no free slot") (fun () ->
+      Config.connect c 1 2);
+  Alcotest.check_raises "unacceptable"
+    (Invalid_argument "Config.connect: pair not in the acceptance graph") (fun () ->
+      Config.connect c 2 0);
+  Alcotest.check_raises "not mates" (Invalid_argument "Config.disconnect: not mates") (fun () ->
+      Config.disconnect c 2 3)
+
+let test_config_drop_worst_copy_equal () =
+  let inst = line_instance 5 2 in
+  let c = Config.of_pairs inst [ (1, 2); (2, 3) ] in
+  let c2 = Config.copy c in
+  Alcotest.(check bool) "copies equal" true (Config.equal c c2);
+  Alcotest.(check (option int)) "drop worst" (Some 3) (Config.drop_worst c 2);
+  Alcotest.(check bool) "now differ" false (Config.equal c c2);
+  Alcotest.(check bool) "copy untouched" true (Config.mated c2 2 3);
+  Alcotest.(check (option int)) "drop empty" None (Config.drop_worst c 0);
+  Alcotest.(check bool) "signatures differ" true (Config.signature c <> Config.signature c2)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking                                                            *)
+
+let test_blocking_basics () =
+  let inst = line_instance 4 1 in
+  let c = Config.empty inst in
+  (* Empty config: every acceptance edge blocks. *)
+  Alcotest.(check bool) "0-1 blocks" true (Blocking.is_blocking c 0 1);
+  Alcotest.(check (list (pair int int))) "all pairs" [ (0, 1); (1, 2); (2, 3) ]
+    (Blocking.blocking_pairs c);
+  Config.connect c 1 2;
+  (* 0-1 still blocks: 1 prefers 0 to its worst mate 2. *)
+  Alcotest.(check bool) "0-1 blocks still" true (Blocking.is_blocking c 0 1);
+  (* 2-3 no longer blocks: 2 is full with the better mate 1. *)
+  Alcotest.(check bool) "2-3 does not block" false (Blocking.is_blocking c 2 3);
+  Alcotest.(check (option int)) "best blocking mate of 0" (Some 1)
+    (Blocking.best_blocking_mate c 0);
+  Alcotest.(check (option int)) "none for 3" None (Blocking.best_blocking_mate c 3)
+
+let test_blocking_zero_budget () =
+  let g = Gen.complete 3 in
+  let inst = Instance.create ~graph:g ~b:[| 0; 1; 1 |] () in
+  let c = Config.empty inst in
+  Alcotest.(check bool) "b=0 never blocks" false (Blocking.is_blocking c 0 1);
+  Alcotest.(check (option int)) "no mate for b=0" None (Blocking.best_blocking_mate c 0);
+  Alcotest.(check (list (pair int int))) "only 1-2" [ (1, 2) ] (Blocking.blocking_pairs c)
+
+let test_stability_check () =
+  let inst = line_instance 4 1 in
+  let stable = Config.of_pairs inst [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "stable" true (Blocking.is_stable stable);
+  let unstable = Config.of_pairs inst [ (1, 2) ] in
+  Alcotest.(check bool) "unstable" false (Blocking.is_stable unstable);
+  Alcotest.(check (option (pair int int))) "first blocking" (Some (0, 1))
+    (Blocking.first_blocking_pair unstable)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy / Algorithm 1                                                *)
+
+let test_greedy_line () =
+  let inst = line_instance 4 1 in
+  let c = Greedy.stable_config inst in
+  Alcotest.(check bool) "stable" true (Blocking.is_stable c);
+  Alcotest.(check bool) "0-1" true (Config.mated c 0 1);
+  Alcotest.(check bool) "2-3" true (Config.mated c 2 3)
+
+let test_greedy_complete_blocks () =
+  (* Fig 4: K9 with b0 = 2 -> three complete triangles. *)
+  let adj = Greedy.stable_complete ~b:(Array.make 9 2) in
+  Alcotest.(check bool) "block structure" true
+    (Cluster.matches_block_structure ~n:9 ~b0:2 adj);
+  Alcotest.(check (array int)) "peer 0 mates" [| 1; 2 |] adj.(0);
+  Alcotest.(check (array int)) "peer 4 mates" [| 3; 5 |] adj.(4)
+
+let test_greedy_complete_matches_generic () =
+  let rng = Helpers.rng () in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 30 in
+    let b = Array.init n (fun _ -> Rng.int rng 4) in
+    let fast = Greedy.stable_complete ~b in
+    let inst = Instance.create ~graph:(Gen.complete n) ~b () in
+    let slow = Config.to_adjacency (Greedy.stable_config inst) in
+    Alcotest.(check bool) "fast = generic on complete graphs" true (fast = slow)
+  done
+
+let test_greedy_partners_array () =
+  let inst = line_instance 5 1 in
+  Alcotest.(check (array int)) "partners" [| 1; 0; 3; 2; -1 |]
+    (Greedy.stable_partners_array inst);
+  let inst2 = line_instance 3 2 in
+  Alcotest.check_raises "b>1 rejected"
+    (Invalid_argument "Greedy.stable_partners_array: 1-matching only") (fun () ->
+      ignore (Greedy.stable_partners_array inst2))
+
+let prop_greedy_stable =
+  Helpers.qtest ~count:300 "Algorithm 1 output is stable" Helpers.instance_params
+    (fun (seed, n, p, bmax) ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_instance rng ~n ~p ~bmax in
+      Blocking.is_stable (Greedy.stable_config inst))
+
+let prop_greedy_unique_stable =
+  Helpers.qtest ~count:120 "greedy = the unique stable configuration (brute force)"
+    QCheck.(
+      make
+        ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+        Gen.(pair (int_bound 1_000_000) (int_range 1 6)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_instance rng ~n ~p:0.6 ~bmax:2 in
+      match Brute.all_stable_configs inst with
+      | [ unique ] -> Config.equal unique (Greedy.stable_config inst)
+      | others ->
+          QCheck.Test.fail_reportf "expected exactly one stable config, got %d"
+            (List.length others))
+
+(* ------------------------------------------------------------------ *)
+(* Brute                                                               *)
+
+let test_brute_counts () =
+  (* K3, b=1: empty + three single-pair configs. *)
+  let inst = Instance.create ~graph:(Gen.complete 3) ~b:[| 1; 1; 1 |] () in
+  Alcotest.(check int) "K3 1-matchings" 4 (Brute.count_configs inst);
+  Alcotest.(check int) "materialised" 4 (List.length (Brute.all_configs inst));
+  (* Unique stable: {0,1}. *)
+  (match Brute.all_stable_configs inst with
+  | [ c ] ->
+      Alcotest.(check bool) "0-1 mated" true (Config.mated c 0 1);
+      Alcotest.(check int) "peer 2 alone" 0 (Config.degree c 2)
+  | l -> Alcotest.failf "expected 1 stable config, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Tan                                                                 *)
+
+let test_tan_no_cycle_in_global_ranking () =
+  let rng = Helpers.rng ~seed:5 () in
+  for _ = 1 to 30 do
+    let inst = Helpers.random_instance rng ~n:7 ~p:0.7 ~bmax:2 in
+    let sys = Tan.of_global_ranking inst in
+    Alcotest.(check bool) "no preference cycle" true (Tan.find_preference_cycle sys = None);
+    Alcotest.(check bool) "ranking-like" true (Tan.is_global_ranking_like sys)
+  done
+
+let odd_cycle_prefs =
+  (* The classic 3-cycle: each of 0,1,2 prefers its successor. *)
+  [| [| 1; 2 |]; [| 2; 0 |]; [| 0; 1 |] |]
+
+let test_tan_finds_odd_cycle () =
+  let sys = Tan.of_lists odd_cycle_prefs in
+  (match Tan.find_preference_cycle sys with
+  | Some cycle -> Alcotest.(check int) "cycle length" 3 (List.length cycle)
+  | None -> Alcotest.fail "expected a cycle");
+  (match Tan.find_preference_cycle ~parity:`Odd sys with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected an odd cycle");
+  Alcotest.(check bool) "even cycle absent" true
+    (Tan.find_preference_cycle ~parity:`Even sys = None);
+  Alcotest.(check bool) "not ranking-like" false (Tan.is_global_ranking_like sys)
+
+let test_tan_symmetrisation () =
+  (* 0 lists 1 but 1 does not list 0: the pair must be dropped. *)
+  let sys = Tan.of_lists [| [| 1 |]; [||] |] in
+  Alcotest.(check bool) "dropped" false (Tan.accepts sys 0 1)
+
+let test_tan_validation () =
+  Alcotest.check_raises "self" (Invalid_argument "Tan.of_lists: peer prefers itself") (fun () ->
+      ignore (Tan.of_lists [| [| 0 |] |]));
+  Alcotest.check_raises "dup" (Invalid_argument "Tan.of_lists: duplicate in preference list")
+    (fun () -> ignore (Tan.of_lists [| [| 1; 1 |]; [| 0 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Gale-Shapley                                                        *)
+
+let test_gale_shapley_known () =
+  (* Classic 3x3 instance. *)
+  let men = [| [| 0; 1; 2 |]; [| 1; 0; 2 |]; [| 0; 1; 2 |] |] in
+  let women = [| [| 1; 0; 2 |]; [| 0; 1; 2 |]; [| 0; 1; 2 |] |] in
+  let m = Gale_shapley.run ~proposer_prefs:men ~receiver_prefs:women in
+  Alcotest.(check bool) "stable" true
+    (Gale_shapley.is_stable ~proposer_prefs:men ~receiver_prefs:women m);
+  (* Proposer-optimal: man 1 gets his favourite woman 1; man 0 gets 0. *)
+  Alcotest.(check int) "man 0" 0 m.Gale_shapley.proposer_mate.(0);
+  Alcotest.(check int) "man 1" 1 m.Gale_shapley.proposer_mate.(1);
+  Alcotest.(check int) "man 2" 2 m.Gale_shapley.proposer_mate.(2)
+
+let random_complete_prefs rng n =
+  Array.init n (fun _ ->
+      let a = Array.init n (fun i -> i) in
+      Dist.shuffle rng a;
+      a)
+
+let test_gale_shapley_random_stable () =
+  let rng = Helpers.rng ~seed:21 () in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 12 in
+    let men = random_complete_prefs rng n and women = random_complete_prefs rng n in
+    let m = Gale_shapley.run ~proposer_prefs:men ~receiver_prefs:women in
+    Alcotest.(check bool) "stable" true
+      (Gale_shapley.is_stable ~proposer_prefs:men ~receiver_prefs:women m);
+    (* Perfect matching and mutual consistency. *)
+    for p = 0 to n - 1 do
+      let w = m.Gale_shapley.proposer_mate.(p) in
+      Alcotest.(check int) "mutual" p m.Gale_shapley.receiver_mate.(w)
+    done
+  done
+
+let test_gale_shapley_proposer_optimal () =
+  (* Swapping roles: proposers do at least as well as when receiving. *)
+  let rng = Helpers.rng ~seed:22 () in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 8 in
+    let men = random_complete_prefs rng n and women = random_complete_prefs rng n in
+    let as_proposers = Gale_shapley.run ~proposer_prefs:men ~receiver_prefs:women in
+    let as_receivers = Gale_shapley.run ~proposer_prefs:women ~receiver_prefs:men in
+    let rank_when_proposing = Gale_shapley.proposer_rank_of_mate ~proposer_prefs:men as_proposers in
+    (* men's mean rank of mate in the women-proposing matching *)
+    let total = ref 0 in
+    for m = 0 to n - 1 do
+      let w = as_receivers.Gale_shapley.receiver_mate.(m) in
+      Array.iteri (fun i q -> if q = w then total := !total + i) men.(m)
+    done;
+    let rank_when_receiving = float_of_int !total /. float_of_int n in
+    Alcotest.(check bool) "proposing is weakly better" true
+      (rank_when_proposing <= rank_when_receiving +. 1e-9)
+  done
+
+let test_gale_shapley_validation () =
+  Alcotest.check_raises "incomplete"
+    (Invalid_argument "Gale_shapley: proposer_prefs: incomplete preference list") (fun () ->
+      ignore (Gale_shapley.run ~proposer_prefs:[| [| 0 |]; [||] |] ~receiver_prefs:[| [| 0; 1 |]; [| 0; 1 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Roommates                                                           *)
+
+let test_roommates_classic_solvable () =
+  (* Gusfield & Irving's 6-person example with a stable matching. *)
+  let prefs =
+    [|
+      [| 3; 5; 1; 2; 4 |];
+      [| 5; 2; 4; 0; 3 |];
+      [| 1; 4; 5; 0; 3 |];
+      [| 2; 5; 4; 1; 0 |];
+      [| 0; 1; 2; 3; 5 |];
+      [| 4; 2; 3; 1; 0 |];
+    |]
+  in
+  let sys = Tan.of_lists prefs in
+  (match Roommates.solve sys with
+  | Roommates.Stable mate ->
+      Alcotest.(check bool) "checker agrees" true (Roommates.is_stable_matching sys mate);
+      Array.iteri (fun p q -> if q >= 0 then Alcotest.(check int) "mutual" p mate.(q)) mate
+  | Roommates.No_stable -> Alcotest.fail "expected a stable matching")
+
+let test_roommates_classic_unsolvable () =
+  (* The classic 4-person instance with no stable matching: 0,1,2 rank
+     each other cyclically and all rank 3 last. *)
+  let prefs = [| [| 1; 2; 3 |]; [| 2; 0; 3 |]; [| 0; 1; 3 |]; [| 0; 1; 2 |] |] in
+  let sys = Tan.of_lists prefs in
+  Alcotest.(check bool) "no stable matching" true (Roommates.solve sys = Roommates.No_stable);
+  (* Tan's theorem: there must be an odd preference cycle. *)
+  Alcotest.(check bool) "odd cycle exists" true
+    (Tan.find_preference_cycle ~parity:`Odd sys <> None)
+
+let test_roommates_global_ranking_agrees_with_greedy () =
+  let rng = Helpers.rng ~seed:33 () in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 14 in
+    let inst = Helpers.random_instance rng ~n ~p:0.5 ~bmax:1 in
+    (* Restrict to peers with budget 1 by dropping b=0 peers' edges. *)
+    let sys =
+      Tan.of_lists
+        (Array.init n (fun p ->
+             if Instance.slots inst p = 0 then [||]
+             else
+               Array.of_list
+                 (List.filter
+                    (fun q -> Instance.slots inst q > 0)
+                    (Array.to_list (Instance.acceptable inst p)))))
+    in
+    match Roommates.solve sys with
+    | Roommates.Stable mate ->
+        let greedy = Greedy.stable_config inst in
+        Array.iteri
+          (fun p q ->
+            let expected = match Config.best_mate greedy p with Some m -> m | None -> -1 in
+            if Instance.slots inst p > 0 then
+              Alcotest.(check int) (Printf.sprintf "mate of %d" p) expected q)
+          mate
+    | Roommates.No_stable -> Alcotest.fail "global ranking always has a stable matching"
+  done
+
+(* Brute-force stable-matching enumeration over a general preference
+   system (n small). *)
+let brute_roommates sys =
+  let n = Tan.size sys in
+  let mate = Array.make n (-1) in
+  let results = ref [] in
+  let rec go p =
+    if p >= n then begin
+      if Roommates.is_stable_matching sys (Array.copy mate) then results := Array.copy mate :: !results
+    end
+    else if mate.(p) >= 0 then go (p + 1)
+    else begin
+      (* p stays single *)
+      go (p + 1);
+      Array.iter
+        (fun q ->
+          if q > p && mate.(q) < 0 then begin
+            mate.(p) <- q;
+            mate.(q) <- p;
+            go (p + 1);
+            mate.(p) <- -1;
+            mate.(q) <- -1
+          end)
+        (Tan.preference_list sys p)
+    end
+  in
+  go 0;
+  !results
+
+let random_tan rng n p =
+  (* Random symmetric acceptance with random strict preferences. *)
+  let g = Gen.gnp rng ~n ~p in
+  let prefs =
+    Array.init n (fun v ->
+        let row = Array.of_list (U.neighbors g v) in
+        Dist.shuffle rng row;
+        row)
+  in
+  Tan.of_lists prefs
+
+let prop_roommates_matches_brute_force =
+  Helpers.qtest ~count:300 "Irving agrees with brute force on existence and stability"
+    QCheck.(
+      make
+        ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+        Gen.(pair (int_bound 1_000_000) (int_range 1 7)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let sys = random_tan rng n 0.7 in
+      let brute = brute_roommates sys in
+      match Roommates.solve sys with
+      | Roommates.Stable mate ->
+          Roommates.is_stable_matching sys mate && List.length brute > 0
+      | Roommates.No_stable -> brute = [])
+
+let test_roommates_empty_and_trivial () =
+  Alcotest.(check bool) "n=1 stays single" true
+    (match Roommates.solve (Tan.of_lists [| [||] |]) with
+    | Roommates.Stable [| -1 |] -> true
+    | _ -> false);
+  (match Roommates.solve (Tan.of_lists [| [| 1 |]; [| 0 |] |]) with
+  | Roommates.Stable m -> Alcotest.(check (array int)) "pair" [| 1; 0 |] m
+  | Roommates.No_stable -> Alcotest.fail "pair instance is stable")
+
+
+let prop_relabeling_invariance =
+  (* Solving with an arbitrary ranking must agree with solving the
+     identity-ranked instance after relabelling the peers by rank. *)
+  Helpers.qtest ~count:150 "ranking relabelling invariance" Helpers.instance_params
+    (fun (seed, n, p, bmax) ->
+      let rng = Rng.create seed in
+      let graph = Gen.gnp rng ~n ~p in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      let scores = Array.init n (fun i -> float_of_int i +. Rng.unit_float rng *. 0.5) in
+      match Ranking.of_scores scores with
+      | exception Ranking.Ties _ -> true (* astronomically unlikely; skip *)
+      | ranking ->
+          let inst = Instance.create ~ranking ~graph ~b () in
+          let stable = Greedy.stable_config inst in
+          (* Identity-ranked twin: relabel vertices by rank. *)
+          let twin_graph = U.create n in
+          U.iter_edges
+            (fun u v ->
+              ignore
+                (U.add_edge twin_graph (Ranking.rank ranking u) (Ranking.rank ranking v)))
+            graph;
+          let twin_b = Array.init n (fun r -> b.(Ranking.peer_at ranking r)) in
+          let twin = Instance.create ~graph:twin_graph ~b:twin_b () in
+          Config.equal (Greedy.stable_config twin) stable
+          && Blocking.is_stable stable)
+
+(* ------------------------------------------------------------------ *)
+(* Stable partitions (Tan 1991)                                        *)
+
+let test_partition_of_odd_cycle () =
+  let sys = Tan.of_lists odd_cycle_prefs in
+  (* The 3-cycle itself is the stable partition. *)
+  Alcotest.(check bool) "cycle is stable partition" true
+    (Stable_partition.is_stable_partition sys [| 1; 2; 0 |]);
+  match Stable_partition.find_brute sys with
+  | None -> Alcotest.fail "Tan: a stable partition always exists"
+  | Some perm ->
+      Alcotest.(check bool) "has odd party" true
+        (Stable_partition.odd_parties perm <> []);
+      Alcotest.(check bool) "predicts no stable matching" false
+        (Stable_partition.predicts_stable_matching perm)
+
+let test_partition_cycle_decomposition () =
+  let perm = [| 1; 0; 3; 4; 2; 5 |] in
+  let ps = Stable_partition.parties perm in
+  Alcotest.(check int) "three parties" 3 (List.length ps);
+  Alcotest.(check (list (list int))) "cycles" [ [ 0; 1 ]; [ 2; 3; 4 ]; [ 5 ] ] ps;
+  Alcotest.(check (list (list int))) "odd parties" [ [ 2; 3; 4 ] ]
+    (Stable_partition.odd_parties perm)
+
+let test_stable_matching_is_stable_partition () =
+  (* Any stable matching, read as a permutation with singles fixed, is a
+     stable partition. *)
+  let rng = Helpers.rng ~seed:51 () in
+  for _ = 1 to 40 do
+    let n = 1 + Rng.int rng 7 in
+    let sys = random_tan rng n 0.7 in
+    match Roommates.solve sys with
+    | Roommates.Stable mate ->
+        let perm = Array.mapi (fun x m -> if m < 0 then x else m) mate in
+        Alcotest.(check bool) "embeds as partition" true
+          (Stable_partition.is_stable_partition sys perm)
+    | Roommates.No_stable -> ()
+  done
+
+let prop_stable_partition_always_exists =
+  Helpers.qtest ~count:200 "a stable partition always exists (Tan's theorem)"
+    QCheck.(
+      make
+        ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+        Gen.(pair (int_bound 1_000_000) (int_range 1 6)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let sys = random_tan rng n 0.7 in
+      Stable_partition.find_brute sys <> None)
+
+let prop_odd_party_criterion =
+  Helpers.qtest ~count:200 "odd parties <=> no stable matching (Tan's criterion)"
+    QCheck.(
+      make
+        ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+        Gen.(pair (int_bound 1_000_000) (int_range 1 6)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let sys = random_tan rng n 0.7 in
+      match Stable_partition.find_brute sys with
+      | None -> false
+      | Some perm ->
+          let predicted = Stable_partition.predicts_stable_matching perm in
+          let actual = match Roommates.solve sys with
+            | Roommates.Stable _ -> true
+            | Roommates.No_stable -> false
+          in
+          predicted = actual)
+
+let prop_odd_parties_invariant =
+  Helpers.qtest ~count:80 "odd-party membership is an instance invariant"
+    QCheck.(
+      make
+        ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n)
+        Gen.(pair (int_bound 1_000_000) (int_range 1 5)))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let sys = random_tan rng n 0.8 in
+      let members perm =
+        List.sort compare (List.concat (Stable_partition.odd_parties perm))
+      in
+      match Stable_partition.all_brute sys with
+      | [] -> false
+      | first :: rest ->
+          let reference = members first in
+          List.for_all (fun perm -> members perm = reference) rest)
+
+let suite =
+  [
+    Alcotest.test_case "ranking from scores" `Quick test_ranking_of_scores;
+    Alcotest.test_case "ranking rejects ties" `Quick test_ranking_ties_rejected;
+    Alcotest.test_case "identity ranking" `Quick test_ranking_identity;
+    Alcotest.test_case "instance relabelling" `Quick test_instance_relabeling;
+    Alcotest.test_case "instance validation" `Quick test_instance_validation;
+    Alcotest.test_case "config connect/disconnect" `Quick test_config_connect_disconnect;
+    Alcotest.test_case "config guards" `Quick test_config_guards;
+    Alcotest.test_case "config drop/copy/equal" `Quick test_config_drop_worst_copy_equal;
+    Alcotest.test_case "blocking pairs" `Quick test_blocking_basics;
+    Alcotest.test_case "blocking with zero budgets" `Quick test_blocking_zero_budget;
+    Alcotest.test_case "stability check" `Quick test_stability_check;
+    Alcotest.test_case "greedy on a path" `Quick test_greedy_line;
+    Alcotest.test_case "greedy complete-graph blocks (Fig 4)" `Quick test_greedy_complete_blocks;
+    Alcotest.test_case "fast complete path = generic greedy" `Quick
+      test_greedy_complete_matches_generic;
+    Alcotest.test_case "stable partners array" `Quick test_greedy_partners_array;
+    prop_greedy_stable;
+    prop_greedy_unique_stable;
+    Alcotest.test_case "brute-force counting" `Quick test_brute_counts;
+    Alcotest.test_case "global rankings have no preference cycle" `Quick
+      test_tan_no_cycle_in_global_ranking;
+    Alcotest.test_case "odd preference cycle found" `Quick test_tan_finds_odd_cycle;
+    Alcotest.test_case "acceptability symmetrisation" `Quick test_tan_symmetrisation;
+    Alcotest.test_case "preference-system validation" `Quick test_tan_validation;
+    Alcotest.test_case "Gale-Shapley known instance" `Quick test_gale_shapley_known;
+    Alcotest.test_case "Gale-Shapley random stability" `Quick test_gale_shapley_random_stable;
+    Alcotest.test_case "Gale-Shapley proposer optimality" `Quick test_gale_shapley_proposer_optimal;
+    Alcotest.test_case "Gale-Shapley validation" `Quick test_gale_shapley_validation;
+    Alcotest.test_case "roommates: solvable classic" `Quick test_roommates_classic_solvable;
+    Alcotest.test_case "roommates: unsolvable classic" `Quick test_roommates_classic_unsolvable;
+    Alcotest.test_case "roommates = greedy under global ranking" `Quick
+      test_roommates_global_ranking_agrees_with_greedy;
+    prop_roommates_matches_brute_force;
+    Alcotest.test_case "roommates corner cases" `Quick test_roommates_empty_and_trivial;
+    Alcotest.test_case "stable partition of the odd cycle" `Quick test_partition_of_odd_cycle;
+    Alcotest.test_case "partition cycle decomposition" `Quick test_partition_cycle_decomposition;
+    Alcotest.test_case "stable matchings embed as partitions" `Quick
+      test_stable_matching_is_stable_partition;
+    prop_relabeling_invariance;
+    prop_stable_partition_always_exists;
+    prop_odd_party_criterion;
+    prop_odd_parties_invariant;
+  ]
