@@ -3,10 +3,14 @@
    Part 1 regenerates every table and figure of the paper (the reproduction
    harness - same reports as `stratify_experiments all`).  Part 2 times the
    computational kernel behind each table/figure with Bechamel, one
-   Test.make per experiment.
+   Test.make per experiment.  Part 3 measures the multicore replication
+   engine (replicas/sec vs --jobs, written to BENCH_parallel.json) and the
+   incremental stability-detection fix.
 
    Environment knobs:
      BENCH_SCALE=0.2     shrink the regeneration workloads (default 1.0)
+     BENCH_JOBS=4        worker domains for the regeneration pass
+                         (default: recommended domain count)
      BENCH_SKIP_REGEN=1  run only the micro-benchmarks. *)
 
 open Bechamel
@@ -17,6 +21,7 @@ module Profile = Stratify_bandwidth.Profile
 module Saroiu = Stratify_bandwidth.Saroiu
 module Bt = Stratify_bittorrent
 module E = Stratify_cli.Experiments
+module Exec = Stratify_exec.Exec
 open Stratify_core
 
 (* ------------------------------------------------------------------ *)
@@ -28,8 +33,13 @@ let regenerate () =
     | Some s -> (try Float.min 1. (Float.max 0.01 (float_of_string s)) with _ -> 1.)
     | None -> 1.
   in
-  let ctx = { E.seed = 42; scale; csv_dir = None } in
-  Printf.printf "Regenerating all tables and figures (scale %g)\n%!" scale;
+  let jobs =
+    match Sys.getenv_opt "BENCH_JOBS" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> Exec.default_jobs ())
+    | None -> Exec.default_jobs ()
+  in
+  let ctx = { E.seed = 42; scale; csv_dir = None; jobs } in
+  Printf.printf "Regenerating all tables and figures (scale %g, jobs %d)\n%!" scale jobs;
   List.iter
     (fun (_, _, f) ->
       f ctx;
@@ -268,6 +278,121 @@ let run_benchmarks () =
         analysis)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: multicore engine scaling + stability-detection fix          *)
+
+let bench_parallel_scaling () =
+  print_endline "\n================ Parallel replication scaling ================";
+  (* Fig 9's Monte-Carlo kernel: one G(n,p) instance solved to stability. *)
+  let n = 500 and p = 0.02 and replicas = 24 in
+  let kernel rng _i =
+    let adj = Gen.gnp_adjacency rng ~n ~p in
+    let inst = Instance.of_adjacency ~adj ~b:(Array.make n 2) () in
+    Config.edge_count (Greedy.stable_config inst)
+  in
+  let time_once jobs =
+    let rng = Rng.create 42 in
+    let t0 = Unix.gettimeofday () in
+    let results = Exec.map_replicas ~jobs ~rng ~replicas kernel in
+    let dt = Unix.gettimeofday () -. t0 in
+    let checksum = Array.fold_left ( + ) 0 results in
+    (float_of_int replicas /. dt, checksum)
+  in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  (* Warm up the allocator/code paths once so jobs=1 is not penalised. *)
+  ignore (time_once 1);
+  let rows =
+    List.map
+      (fun jobs ->
+        let rate, checksum = time_once jobs in
+        Printf.printf "  jobs=%d  %8.2f replicas/sec  (checksum %d)\n%!" jobs rate checksum;
+        (jobs, rate, checksum))
+      job_counts
+  in
+  (* All job counts must agree bit-for-bit on the results. *)
+  (match rows with
+  | (_, _, c0) :: rest ->
+      List.iter
+        (fun (jobs, _, c) ->
+          if c <> c0 then failwith (Printf.sprintf "jobs=%d checksum mismatch" jobs))
+        rest
+  | [] -> ());
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc "{\n  \"kernel\": \"fig9 G(n,p) stable 2-matching\",\n";
+  Printf.fprintf oc "  \"n\": %d, \"p\": %g, \"replicas\": %d,\n" n p replicas;
+  Printf.fprintf oc "  \"available_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"replicas_per_sec\": {%s}\n"
+    (String.concat ", " (List.map (fun (j, r, _) -> Printf.sprintf "\"%d\": %.2f" j r) rows));
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_parallel.json"
+
+let bench_stability_detection () =
+  print_endline "\n================ Stability-detection fix ================";
+  (* Naive baseline: a [Config.equal] scan before every step — what
+     [run_until_stable] used to do.  Same seed, same check-before-step
+     order, so both take the identical number of steps.  A third run with
+     {e no} check at all isolates the detection overhead from the common
+     stepping cost, which otherwise Amdahl-bounds the end-to-end ratio. *)
+  let n = 1000 and d = 10. and b = 1 and reps = 10 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let t_base = ref 0. and t_naive = ref 0. and t_inc = ref 0. and steps_total = ref 0 in
+  for rep = 1 to reps do
+    let inst =
+      let rng = Rng.create (100 + rep) in
+      let graph = Gen.gnd rng ~n ~d in
+      Instance.create ~graph ~b:(Array.make n b) ()
+    in
+    let stable = Greedy.stable_config inst in
+    let max_units = 10_000 in
+    let naive () =
+      let sim = Sim.create inst (Rng.create (200 + rep)) in
+      let limit = max_units * n in
+      let rec loop () =
+        if Config.equal (Sim.config sim) stable then Some (Sim.steps sim)
+        else if Sim.steps sim >= limit then None
+        else begin
+          ignore (Sim.step sim);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let incremental () =
+      let sim = Sim.create inst (Rng.create (200 + rep)) in
+      Sim.run_until_stable sim ~stable ~max_units
+    in
+    let r_naive, dt_naive = time naive in
+    let r_inc, dt_inc = time incremental in
+    if r_naive <> r_inc then failwith "stability detection: step counts differ";
+    let steps = match r_inc with Some s -> s | None -> failwith "did not converge" in
+    let base () =
+      let sim = Sim.create inst (Rng.create (200 + rep)) in
+      for _ = 1 to steps do
+        ignore (Sim.step sim)
+      done
+    in
+    let (), dt_base = time base in
+    steps_total := !steps_total + steps;
+    t_naive := !t_naive +. dt_naive;
+    t_inc := !t_inc +. dt_inc;
+    t_base := !t_base +. dt_base
+  done;
+  Printf.printf "  n=%d d=%g b=%d, %d runs, %d steps total\n" n d b reps !steps_total;
+  Printf.printf "  stepping only (no check):        %8.4f s\n" !t_base;
+  Printf.printf "  naive (Config.equal every step): %8.4f s\n" !t_naive;
+  Printf.printf "  incremental tracker:             %8.4f s\n" !t_inc;
+  Printf.printf "  end-to-end speedup:  %.1fx\n" (!t_naive /. !t_inc);
+  Printf.printf "  detection overhead:  %.1fx  (%.4f s -> %.4f s)\n%!"
+    ((!t_naive -. !t_base) /. (!t_inc -. !t_base))
+    (!t_naive -. !t_base) (!t_inc -. !t_base)
+
 let () =
   if Sys.getenv_opt "BENCH_SKIP_REGEN" = None then regenerate ();
-  run_benchmarks ()
+  run_benchmarks ();
+  bench_parallel_scaling ();
+  bench_stability_detection ()

@@ -23,12 +23,24 @@ let csv_arg =
   let doc = "Directory to write raw results as CSV (created if missing)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
-let context seed scale csv_dir =
-  if scale <= 0. || scale > 1. then `Error (false, "scale must be in (0, 1]")
-  else `Ok { E.seed; scale; csv_dir }
+let jobs_arg =
+  let doc =
+    "Worker domains for the Monte-Carlo-heavy experiments (fig1, table1, fig6, fig9, scaling). \
+     Results are bit-identical for any value, including 1; defaults to the machine's \
+     recommended domain count."
+  in
+  Arg.(
+    value
+    & opt int (Stratify_exec.Exec.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
 
-let run_experiment f seed scale csv_dir =
-  match context seed scale csv_dir with
+let context seed scale csv_dir jobs =
+  if scale <= 0. || scale > 1. then `Error (false, "scale must be in (0, 1]")
+  else if jobs < 1 then `Error (false, "jobs must be >= 1")
+  else `Ok { E.seed; scale; csv_dir; jobs }
+
+let run_experiment f seed scale csv_dir jobs =
+  match context seed scale csv_dir jobs with
   | `Error _ as e -> e
   | `Ok ctx ->
       f ctx;
@@ -38,18 +50,18 @@ let experiment_cmd (name, description, f) =
   let doc = Printf.sprintf "Regenerate %s of the paper (%s)." name description in
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(ret (const (run_experiment f) $ seed_arg $ scale_arg $ csv_arg))
+    Term.(ret (const (run_experiment f) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg))
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
-  let run seed scale csv_dir =
-    match context seed scale csv_dir with
+  let run seed scale csv_dir jobs =
+    match context seed scale csv_dir jobs with
     | `Error _ as e -> e
     | `Ok ctx ->
         List.iter (fun (_, _, f) -> f ctx) E.all;
         `Ok ()
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run $ seed_arg $ scale_arg $ csv_arg))
+  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg))
 
 let list_cmd =
   let doc = "List available experiments." in

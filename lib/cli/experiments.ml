@@ -6,11 +6,12 @@ module Discrete = Stratify_stats.Discrete
 module Profile = Stratify_bandwidth.Profile
 module Saroiu = Stratify_bandwidth.Saroiu
 module Bt = Stratify_bittorrent
+module Exec = Stratify_exec.Exec
 open Stratify_core
 
-type context = { seed : int; scale : float; csv_dir : string option }
+type context = { seed : int; scale : float; csv_dir : string option; jobs : int }
 
-let default_context = { seed = 42; scale = 1.; csv_dir = None }
+let default_context = { seed = 42; scale = 1.; csv_dir = None; jobs = 1 }
 
 let scaled ctx full = max 1 (int_of_float (Float.round (float_of_int full *. ctx.scale)))
 
@@ -27,24 +28,30 @@ let maybe_csv_table ctx name t =
 let fig1 ctx =
   Output.section "Fig 1 - convergence towards the stable configuration (empty start)";
   let units = 40 in
-  let combos = [ (scaled ctx 100, 50.); (scaled ctx 1000, 10.); (scaled ctx 1000, 50.) ] in
+  let combos = [| (scaled ctx 100, 50.); (scaled ctx 1000, 10.); (scaled ctx 1000, 50.) |] in
+  (* One trajectory per (n, d) combo; each re-seeds from the context, so
+     they are independent kernels for the parallel engine.  All printing
+     stays on the coordinator to keep the report order fixed. *)
   let series =
-    List.map
-      (fun (n, d) ->
-        let rng = Rng.create ctx.seed in
-        let graph = Gen.gnd rng ~n ~d in
-        let inst = Instance.create ~graph ~b:(Array.make n 1) () in
-        let stable = Greedy.stable_config inst in
-        let sim = Sim.create inst rng in
-        let traj = Sim.disorder_trajectory sim ~stable ~units ~samples_per_unit:4 in
-        let traj = { traj with Series.label = Printf.sprintf "n=%d,d=%g" n d } in
-        (match Series.first_x_below traj 1e-12 with
-        | Some x ->
-            Output.note "n=%d d=%g: stable after %.2f initiatives/peer (paper: < d = %g)" n d x d
-        | None -> Output.note "n=%d d=%g: not converged in %d units" n d units);
-        traj)
-      combos
+    Array.to_list
+      (Exec.map_indexed ~jobs:ctx.jobs ~count:(Array.length combos) (fun i ->
+           let n, d = combos.(i) in
+           let rng = Rng.create ctx.seed in
+           let graph = Gen.gnd rng ~n ~d in
+           let inst = Instance.create ~graph ~b:(Array.make n 1) () in
+           let stable = Greedy.stable_config inst in
+           let sim = Sim.create inst rng in
+           let traj = Sim.disorder_trajectory sim ~stable ~units ~samples_per_unit:4 in
+           { traj with Series.label = Printf.sprintf "n=%d,d=%g" n d }))
   in
+  List.iteri
+    (fun i traj ->
+      let n, d = combos.(i) in
+      match Series.first_x_below traj 1e-12 with
+      | Some x ->
+          Output.note "n=%d d=%g: stable after %.2f initiatives/peer (paper: < d = %g)" n d x d
+      | None -> Output.note "n=%d d=%g: not converged in %d units" n d units)
+    series;
   Output.plot ~x_label:"initiatives per peer" ~y_label:"disorder" series;
   maybe_csv ctx "fig1" series
 
@@ -160,7 +167,7 @@ let table1 ctx =
     let n_normal = scaled ctx (max 10_000 (int_of_float (25. *. paper_normal_size.(idx)))) in
     let replicates = if b0 <= 5 then 7 else if b0 = 6 then 3 else 2 in
     let runs =
-      Array.init replicates (fun _ ->
+      Exec.map_replicas ~jobs:ctx.jobs ~rng ~replicas:replicates (fun rng _ ->
           Phase.measure rng ~n:n_normal ~mean_b:(float_of_int b0) ~sigma:0.2 ~replicates:1)
     in
     let median f =
@@ -203,7 +210,32 @@ let fig6 ctx =
       (List.init 9 (fun i -> float_of_int i *. 0.05)
       @ List.init 8 (fun i -> 0.6 +. (float_of_int i *. 0.2)))
   in
-  let points = Phase.sweep rng ~n ~mean_b:6. ~sigmas ~replicates:2 in
+  (* Flatten the (sigma, replicate) grid into one replica list so the
+     whole sweep — not just one sigma — feeds the worker pool, then
+     average the replicates back per sigma. *)
+  let replicates = 2 in
+  let grid =
+    Exec.map_replicas ~jobs:ctx.jobs ~rng ~replicas:(Array.length sigmas * replicates)
+      (fun rng k -> Phase.measure rng ~n ~mean_b:6. ~sigma:sigmas.(k / replicates) ~replicates:1)
+  in
+  let points =
+    Array.mapi
+      (fun si sigma ->
+        let mean f =
+          let acc = ref 0. in
+          for r = 0 to replicates - 1 do
+            acc := !acc +. f grid.((si * replicates) + r)
+          done;
+          !acc /. float_of_int replicates
+        in
+        {
+          Phase.sigma;
+          mean_cluster_size = mean (fun p -> p.Phase.mean_cluster_size);
+          largest_cluster = mean (fun p -> p.Phase.largest_cluster);
+          mmo = mean (fun p -> p.Phase.mmo);
+        })
+      sigmas
+  in
   let size_series =
     Series.make "mean cluster size"
       (Array.map (fun p -> (p.Phase.sigma, p.Phase.mean_cluster_size)) points)
@@ -314,13 +346,21 @@ let fig9 ctx =
   let peer = min (n - 1) (int_of_float (0.6 *. float_of_int n)) in
   let runs = max 50 (scaled ctx 400) in
   let rng = Rng.create ctx.seed in
+  (* The paper's "several weeks" of realizations: one replica = one
+     G(n,p) stable 2-matching.  Each replica runs on its own substream
+     (indexed by replica id, not worker), so the counts — and the CSV —
+     are byte-identical for every --jobs value. *)
+  let mates_per_run =
+    Exec.map_replicas ~jobs:ctx.jobs ~rng ~replicas:runs (fun rng _ ->
+        let adj = Gen.gnp_adjacency rng ~n ~p in
+        let inst = Instance.of_adjacency ~adj ~b:(Array.make n b0) () in
+        let config = Greedy.stable_config inst in
+        Config.mates config peer)
+  in
   let counts = Array.init b0 (fun _ -> Array.make n 0) in
-  for _ = 1 to runs do
-    let adj = Gen.gnp_adjacency rng ~n ~p in
-    let inst = Instance.of_adjacency ~adj ~b:(Array.make n b0) () in
-    let config = Greedy.stable_config inst in
-    List.iteri (fun c j -> counts.(c).(j) <- counts.(c).(j) + 1) (Config.mates config peer)
-  done;
+  Array.iter
+    (List.iteri (fun c j -> counts.(c).(j) <- counts.(c).(j) + 1))
+    mates_per_run;
   let estimated = B_matching.choice_distributions ~n ~p ~b0 ~peer in
   let offset_series label weights =
     Series.make label
@@ -517,8 +557,10 @@ let scaling ctx =
   (* The paper observes convergence in < n*d initiatives; here we fit the
      empirical scaling law the paper left open. *)
   let median_units ~n ~d =
+    (* Five independent seeds; each kernel derives its own RNG from the
+       index, so the medians do not depend on --jobs. *)
     let runs =
-      List.init 5 (fun k ->
+      Exec.map_indexed ~jobs:ctx.jobs ~count:5 (fun k ->
           let rng = Rng.create (ctx.seed + k) in
           let graph = Gen.gnd rng ~n ~d in
           let inst = Instance.create ~graph ~b:(Array.make n 1) () in
@@ -528,7 +570,7 @@ let scaling ctx =
           | Some steps -> float_of_int steps /. float_of_int n
           | None -> Float.nan)
     in
-    let a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) runs) in
+    let a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list runs)) in
     Array.sort compare a;
     a.(Array.length a / 2)
   in

@@ -8,9 +8,14 @@
     The registry at the bottom drives both the [stratify_experiments]
     binary and the benchmark harness. *)
 
-type context = { seed : int; scale : float; csv_dir : string option }
+type context = { seed : int; scale : float; csv_dir : string option; jobs : int }
+(** [jobs] is the worker-domain count handed to {!Stratify_exec.Exec} by
+    the Monte-Carlo-heavy experiments (fig1, table1, fig6, fig9, scaling).
+    Output is bit-identical for every [jobs ≥ 1] — replicas run on
+    replica-indexed random substreams, never worker-indexed ones. *)
 
 val default_context : context
+(** seed 42, scale 1.0, no CSV, [jobs = 1]. *)
 
 val fig1 : context -> unit
 (** Convergence from the empty configuration, (n,d) ∈

@@ -1,11 +1,13 @@
 type t = {
   instance : Instance.t;
   mates : int list array;  (* each list increasing = best-ranked first *)
+  worst : int array;  (* cached last element of mates.(p); -1 when unmated *)
   mutable edges : int;
 }
 
 let empty instance =
-  { instance; mates = Array.make (Instance.n instance) []; edges = 0 }
+  let n = Instance.n instance in
+  { instance; mates = Array.make n []; worst = Array.make n (-1); edges = 0 }
 
 let instance t = t.instance
 let degree t p = List.length t.mates.(p)
@@ -14,10 +16,18 @@ let is_full t p = free_slots t p <= 0
 let mates t p = t.mates.(p)
 let best_mate t p = match t.mates.(p) with [] -> None | q :: _ -> Some q
 
-let worst_mate t p =
-  match t.mates.(p) with [] -> None | l -> Some (List.nth l (List.length l - 1))
+(* O(1): the worst mate is the largest rank label, cached in [worst].
+   [Blocking.would_accept] calls this on every probe of the dynamics'
+   innermost loop, so it must not walk the list. *)
+let worst_mate t p = let w = t.worst.(p) in if w < 0 then None else Some w
 
-let mated t p q = List.mem q t.mates.(p)
+let rec mem_sorted q = function
+  | [] -> false
+  | x :: rest -> x = q || (x < q && mem_sorted q rest)
+
+(* Mate lists are increasing, so anything past the cached worst rank is
+   certainly absent — the common non-mate probe exits without scanning. *)
+let mated t p q = q <= t.worst.(p) && mem_sorted q t.mates.(p)
 
 let insert_sorted q l =
   let rec go = function
@@ -25,6 +35,8 @@ let insert_sorted q l =
     | x :: rest as all -> if q < x then q :: all else x :: go rest
   in
   go l
+
+let rec last_or_none = function [] -> -1 | [ x ] -> x | _ :: rest -> last_or_none rest
 
 let connect t p q =
   if p = q then invalid_arg "Config.connect: self-collaboration";
@@ -35,12 +47,16 @@ let connect t p q =
     invalid_arg "Config.connect: no free slot";
   t.mates.(p) <- insert_sorted q t.mates.(p);
   t.mates.(q) <- insert_sorted p t.mates.(q);
+  if q > t.worst.(p) then t.worst.(p) <- q;
+  if p > t.worst.(q) then t.worst.(q) <- p;
   t.edges <- t.edges + 1
 
 let disconnect t p q =
   if not (mated t p q) then invalid_arg "Config.disconnect: not mates";
   t.mates.(p) <- List.filter (fun x -> x <> q) t.mates.(p);
   t.mates.(q) <- List.filter (fun x -> x <> p) t.mates.(q);
+  if t.worst.(p) = q then t.worst.(p) <- last_or_none t.mates.(p);
+  if t.worst.(q) = p then t.worst.(q) <- last_or_none t.mates.(q);
   t.edges <- t.edges - 1
 
 let drop_worst t p =
@@ -55,7 +71,13 @@ let edge_count t = t.edges
 let iter_pairs f t =
   Array.iteri (fun p l -> List.iter (fun q -> if p < q then f p q) l) t.mates
 
-let copy t = { instance = t.instance; mates = Array.copy t.mates; edges = t.edges }
+let copy t =
+  {
+    instance = t.instance;
+    mates = Array.copy t.mates;
+    worst = Array.copy t.worst;
+    edges = t.edges;
+  }
 
 let equal a b =
   a.edges = b.edges

@@ -25,10 +25,15 @@ val mates : t -> int -> int list
 (** Mates best-ranked first. *)
 
 val best_mate : t -> int -> int option
+
 val worst_mate : t -> int -> int option
+(** O(1): the worst mate is cached, not recomputed from the list — it is
+    probed by [Blocking.would_accept] on every initiative. *)
 
 val mated : t -> int -> int -> bool
-(** Whether two peers are currently mates. *)
+(** Whether two peers are currently mates.  O(1) rejection when [q] is
+    worse than [p]'s cached worst mate; otherwise an early-exit scan of
+    the (short, sorted) mate list. *)
 
 val connect : t -> int -> int -> unit
 (** Add a collaboration.  Raises [Invalid_argument] if the pair is

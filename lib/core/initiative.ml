@@ -28,16 +28,27 @@ let find_mate config state strategy rng p =
         if Blocking.is_blocking config p q then Some q else None
       end
 
-let perform config p q =
+let perform ?on_rewire config p q =
   if not (Blocking.is_blocking config p q) then
     invalid_arg "Initiative.perform: pair does not block";
-  if Config.free_slots config p <= 0 then ignore (Config.drop_worst config p);
-  if Config.free_slots config q <= 0 then ignore (Config.drop_worst config q);
-  Config.connect config p q
+  let dropped_p =
+    if Config.free_slots config p <= 0 then Config.drop_worst config p else None
+  in
+  let dropped_q =
+    if Config.free_slots config q <= 0 then Config.drop_worst config q else None
+  in
+  Config.connect config p q;
+  match on_rewire with
+  | None -> ()
+  | Some note ->
+      (match dropped_p with Some w -> note w | None -> ());
+      (match dropped_q with Some w -> note w | None -> ());
+      note p;
+      note q
 
-let attempt config state strategy rng p =
+let attempt ?on_rewire config state strategy rng p =
   match find_mate config state strategy rng p with
   | None -> false
   | Some q ->
-      perform config p q;
+      perform ?on_rewire config p q;
       true

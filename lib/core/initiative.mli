@@ -25,11 +25,16 @@ val find_mate : Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> i
     any, without modifying the configuration (advances decremental
     cursors). *)
 
-val perform : Config.t -> int -> int -> unit
+val perform : ?on_rewire:(int -> unit) -> Config.t -> int -> int -> unit
 (** Execute the pairing move of an active initiative: each side drops its
     worst mate if it has no free slot, then the two connect.  The pair must
-    actually block (checked). *)
+    actually block (checked).  [on_rewire] is called, after all rewiring,
+    for each peer whose mate list changed: the two principals and any
+    dropped mates (a peer dropped by both sides is reported twice, so the
+    hook must be idempotent) — this is what incremental convergence
+    detectors ({!Sim}) use to avoid rescanning the whole configuration. *)
 
-val attempt : Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> bool
+val attempt :
+  ?on_rewire:(int -> unit) -> Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> bool
 (** [find_mate] then [perform]; returns whether the initiative was
     active. *)

@@ -58,15 +58,62 @@ let disorder_trajectory t ~stable ~units ~samples_per_unit =
   done;
   Series.make "disorder" (Array.of_list (List.rev !points))
 
+(* Incremental convergence detection.  Checking [Config.equal config
+   stable] after every step costs O(n) per step — O(n²·units) per run.
+   Instead we keep, per peer, whether its mate list currently matches the
+   target, and a count of mismatched peers; each step only re-examines the
+   ≤ 4 peers the initiative rewired (via [Initiative.perform]'s
+   [on_rewire] hook).  The O(n) [Config.equal] runs only when the fast
+   path says "maybe equal" — i.e. at most once, to confirm. *)
+module Divergence = struct
+  type tracker = {
+    target : Config.t;
+    target_mates : int list array;
+    matched : bool array;
+    mutable mismatches : int;
+  }
+
+  let create config target =
+    let n = Instance.n (Config.instance target) in
+    let target_mates = Array.init n (Config.mates target) in
+    let matched = Array.init n (fun p -> Config.mates config p = target_mates.(p)) in
+    let mismatches = Array.fold_left (fun acc m -> if m then acc else acc + 1) 0 matched in
+    { target; target_mates; matched; mismatches }
+
+  let touch tr config p =
+    let now = Config.mates config p = tr.target_mates.(p) in
+    if now <> tr.matched.(p) then begin
+      tr.matched.(p) <- now;
+      tr.mismatches <- tr.mismatches + (if now then -1 else 1)
+    end
+
+  (* Fast path: any mismatched peer or a differing edge count rules
+     equality out in O(1); otherwise confirm with the full scan. *)
+  let maybe_equal tr config =
+    tr.mismatches = 0
+    && Config.edge_count config = Config.edge_count tr.target
+    && Config.equal config tr.target
+end
+
+let step_tracked t ~on_rewire =
+  let n = Instance.n t.instance in
+  let p = Rng.int t.rng n in
+  t.steps <- t.steps + 1;
+  let was_active = Initiative.attempt ~on_rewire t.config t.state t.strategy t.rng p in
+  if was_active then t.active <- t.active + 1;
+  was_active
+
 let run_until_stable t ~stable ~max_units =
   let n = Instance.n t.instance in
   let limit = max_units * n in
   let start_steps = t.steps in
+  let tr = Divergence.create t.config stable in
+  let on_rewire p = Divergence.touch tr t.config p in
   let rec go () =
-    if Config.equal t.config stable then Some (t.steps - start_steps)
+    if Divergence.maybe_equal tr t.config then Some (t.steps - start_steps)
     else if t.steps - start_steps >= limit then None
     else begin
-      ignore (step t);
+      ignore (step_tracked t ~on_rewire);
       go ()
     end
   in
@@ -75,11 +122,13 @@ let run_until_stable t ~stable ~max_units =
 let count_active_to_stability instance ~strategy rng ~max_steps =
   let t = create ~strategy instance rng in
   let stable = Greedy.stable_config instance in
+  let tr = Divergence.create t.config stable in
+  let on_rewire p = Divergence.touch tr t.config p in
   let rec go () =
-    if Config.equal t.config stable then Some t.active
+    if Divergence.maybe_equal tr t.config then Some t.active
     else if t.steps >= max_steps then None
     else begin
-      ignore (step t);
+      ignore (step_tracked t ~on_rewire);
       go ()
     end
   in

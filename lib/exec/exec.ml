@@ -1,0 +1,99 @@
+module Rng = Stratify_prng.Rng
+module Online = Stratify_stats.Online
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Run [work lo hi] over every chunk [lo, hi) of [0, count), on [jobs]
+   domains pulling chunk indices from an atomic counter.  The calling
+   domain is one of the workers, so [jobs = 1] spawns nothing. *)
+let run_chunked ~chunk ~jobs ~count work =
+  if count > 0 then begin
+    let jobs = max 1 (min jobs count) in
+    let n_chunks = (count + chunk - 1) / chunk in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < n_chunks then begin
+          let lo = c * chunk in
+          work lo (min count (lo + chunk));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if jobs = 1 then worker ()
+    else begin
+      let pool = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let here = try worker (); None with e -> Some e in
+      let spawned =
+        Array.fold_left
+          (fun acc d ->
+            match (try Domain.join d; None with e -> Some e) with
+            | Some _ as e when acc = None -> e
+            | _ -> acc)
+          None pool
+      in
+      match here, spawned with Some e, _ | None, Some e -> raise e | None, None -> ()
+    end
+  end
+
+let check_args fn ~chunk ~jobs ~count =
+  if chunk <= 0 then invalid_arg (fn ^ ": chunk must be positive");
+  if jobs <= 0 then invalid_arg (fn ^ ": jobs must be positive");
+  if count < 0 then invalid_arg (fn ^ ": negative count")
+
+let gather fn out =
+  Array.map (function Some v -> v | None -> invalid_arg (fn ^ ": replica not computed")) out
+
+let map_replicas ?(chunk = 1) ~jobs ~rng ~replicas f =
+  check_args "Exec.map_replicas" ~chunk ~jobs ~count:replicas;
+  (* One substream per replica, split sequentially here so neither [jobs]
+     nor scheduling can perturb any stream. *)
+  let streams = Array.init replicas (fun _ -> Rng.split rng) in
+  let out = Array.make replicas None in
+  run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- Some (f streams.(i) i)
+      done);
+  gather "Exec.map_replicas" out
+
+let map_indexed ?(chunk = 1) ~jobs ~count f =
+  check_args "Exec.map_indexed" ~chunk ~jobs ~count;
+  let out = Array.make count None in
+  run_chunked ~chunk ~jobs ~count (fun lo hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- Some (f i)
+      done);
+  gather "Exec.map_indexed" out
+
+let reduce_replicas ?(chunk = 1) ~jobs ~rng ~replicas ~merge map =
+  check_args "Exec.reduce_replicas" ~chunk ~jobs ~count:replicas;
+  let streams = Array.init replicas (fun _ -> Rng.split rng) in
+  let n_chunks = (replicas + chunk - 1) / chunk in
+  let accs = Array.make n_chunks None in
+  run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
+      let acc = ref (map streams.(lo) lo) in
+      for i = lo + 1 to hi - 1 do
+        acc := merge !acc (map streams.(i) i)
+      done;
+      accs.(lo / chunk) <- Some !acc);
+  Array.fold_left
+    (fun acc c ->
+      match acc, c with
+      | None, v -> v
+      | Some a, Some b -> Some (merge a b)
+      | Some _, None -> acc)
+    None accs
+
+let online_replicas ?(chunk = 1) ~jobs ~rng ~replicas f =
+  check_args "Exec.online_replicas" ~chunk ~jobs ~count:replicas;
+  let streams = Array.init replicas (fun _ -> Rng.split rng) in
+  let n_chunks = (replicas + chunk - 1) / chunk in
+  let accs = Array.init (max 1 n_chunks) (fun _ -> Online.create ()) in
+  run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
+      let acc = accs.(lo / chunk) in
+      for i = lo to hi - 1 do
+        Online.add acc (f streams.(i) i)
+      done);
+  Array.fold_left Online.merge (Online.create ()) accs

@@ -56,23 +56,38 @@ let binomial rng ~n ~p =
     let x = int_of_float (Float.round (normal rng ~mu:mean ~sigma:sd)) in
     max 0 (min n x)
 
-let zipf rng ~n ~s =
-  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
-  let cdf = Array.make n 0. in
-  let total = ref 0. in
-  for k = 1 to n do
-    total := !total +. (1. /. Float.pow (float_of_int k) s);
-    cdf.(k - 1) <- !total
-  done;
-  let u = Rng.unit_float rng *. !total in
-  (* Binary search for the first index with cdf >= u. *)
-  let rec search lo hi =
-    if lo >= hi then lo + 1
-    else
-      let mid = (lo + hi) / 2 in
-      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
-  in
-  search 0 (n - 1)
+module Zipf = struct
+  type t = { cdf : float array; total : float }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+    let cdf = Array.make n 0. in
+    let total = ref 0. in
+    for k = 1 to n do
+      total := !total +. (1. /. Float.pow (float_of_int k) s);
+      cdf.(k - 1) <- !total
+    done;
+    { cdf; total = !total }
+
+  let size t = Array.length t.cdf
+
+  let draw t rng =
+    let u = Rng.unit_float rng *. t.total in
+    (* Binary search for the first index with cdf >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo + 1
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (Array.length t.cdf - 1)
+
+  let probability t k =
+    if k < 1 || k > Array.length t.cdf then invalid_arg "Dist.Zipf.probability: rank out of range";
+    (if k = 1 then t.cdf.(0) else t.cdf.(k - 1) -. t.cdf.(k - 2)) /. t.total
+end
+
+let zipf rng ~n ~s = Zipf.draw (Zipf.create ~n ~s) rng
 
 let rounded_positive_normal rng ~mean ~sigma =
   if sigma <= 0. then max 1 (int_of_float (Float.round mean))

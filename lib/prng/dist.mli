@@ -29,9 +29,29 @@ val binomial : Rng.t -> n:int -> p:float -> int
 (** Binomial(n, p) by inversion for small [n·p], otherwise via a normal
     approximation clamped to the support. *)
 
+(** Zipf sampler with the O(n) CDF built once: [create] then O(log n)
+    [draw]s.  Use this — not the {!zipf} convenience wrapper — anywhere
+    draws repeat. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** Precompute the CDF over ranks [1, n] with exponent [s]. *)
+
+  val size : t -> int
+  (** The [n] it was built with. *)
+
+  val draw : t -> Rng.t -> int
+  (** Zipf-distributed rank in [1, n]; binary search on the CDF. *)
+
+  val probability : t -> int -> float
+  (** Normalised mass of a rank in [1, n] (for testing). *)
+end
+
 val zipf : Rng.t -> n:int -> s:float -> int
-(** Zipf-distributed rank in [1, n] with exponent [s], by inversion on the
-    precomputed CDF (intended for modest [n]). *)
+(** One-shot convenience wrapper: [Zipf.create] + [Zipf.draw].  Rebuilds
+    the O(n) CDF on every call — same stream of draws as before, but hot
+    paths should hold a {!Zipf.t}. *)
 
 val rounded_positive_normal : Rng.t -> mean:float -> sigma:float -> int
 (** The paper's §4 slot-budget law: a Gaussian sample rounded to the nearest

@@ -143,6 +143,46 @@ let prop_converges_to_greedy_config =
       | Some _ -> true
       | None -> false)
 
+let prop_incremental_stability_matches_naive =
+  (* Regression for the O(n)-scan-per-step bug: [run_until_stable]'s
+     incremental divergence tracker must report exactly the step count of
+     the naive check-[Config.equal]-before-every-step loop it replaced. *)
+  Helpers.qtest ~count:60 "incremental stability detection matches naive scan"
+    Helpers.instance_params (fun (seed, n, p, bmax) ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_instance rng ~n ~p ~bmax in
+      let stable = Greedy.stable_config inst in
+      let max_units = 50 in
+      let naive =
+        let sim = Sim.create inst (Rng.create (seed + 1)) in
+        let limit = max_units * Instance.n inst in
+        let rec loop () =
+          if Config.equal (Sim.config sim) stable then Some (Sim.steps sim)
+          else if Sim.steps sim >= limit then None
+          else begin
+            ignore (Sim.step sim);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let incremental =
+        let sim = Sim.create inst (Rng.create (seed + 1)) in
+        Sim.run_until_stable sim ~stable ~max_units
+      in
+      naive = incremental)
+
+let test_run_until_stable_timeout () =
+  (* A target the dynamics can never reach: both implementations must agree
+     on [None] after exactly [max_units] base units. *)
+  let inst = line_instance 6 1 in
+  (* Unreachable target: 0-1 is not the stable edge set of the path. *)
+  let unreachable = Config.of_pairs inst [ (1, 2); (3, 4) ] in
+  let sim = Sim.create inst (Helpers.rng ~seed:5 ()) in
+  Alcotest.(check bool) "times out" true
+    (Sim.run_until_stable sim ~stable:unreachable ~max_units:3 = None);
+  Alcotest.(check int) "stopped after max_units" 18 (Sim.steps sim)
+
 let test_theorem1_bound_achievable () =
   (* On a complete graph the best-mate schedule realises B/2 connections;
      active count should be modest (>= edge count of stable config). *)

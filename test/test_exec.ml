@@ -1,0 +1,151 @@
+(* The multicore replication engine: its whole contract is that [jobs]
+   never changes any output.  These tests run nontrivial kernels (a fig9
+   Monte-Carlo realization) under several worker counts — including a
+   prime one that doesn't divide the replica count — and require
+   bit-identical results, plus a pinned seed-stability value so a silent
+   change to the substream derivation cannot pass. *)
+
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+module Online = Stratify_stats.Online
+module Exec = Stratify_exec.Exec
+open Stratify_core
+
+(* Fig 9's kernel at toy size: one G(n,p) instance solved to stability;
+   the signature captures the full mate structure, not just a summary. *)
+let fig9_kernel rng i =
+  let n = 60 in
+  let adj = Gen.gnp_adjacency rng ~n ~p:0.1 in
+  let inst = Instance.of_adjacency ~adj ~b:(Array.make n 2) () in
+  let config = Greedy.stable_config inst in
+  (i, Config.edge_count config, Array.init n (Config.mates config))
+
+let job_counts = [ 1; 2; 7 ]
+
+let test_map_replicas_jobs_invariant () =
+  let run jobs = Exec.map_replicas ~jobs ~rng:(Rng.create 42) ~replicas:10 fig9_kernel in
+  let reference = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
+        true
+        (run jobs = reference))
+    job_counts;
+  (* Chunking must not change results either. *)
+  Alcotest.(check bool) "chunk=3 identical" true
+    (Exec.map_replicas ~chunk:3 ~jobs:2 ~rng:(Rng.create 42) ~replicas:10 fig9_kernel
+    = reference);
+  (* Replica indices arrive in order. *)
+  Array.iteri (fun i (j, _, _) -> Alcotest.(check int) "index" i j) reference
+
+let test_map_replicas_matches_sequential_split () =
+  (* The engine must consume the base rng exactly like a sequential
+     split-per-replica loop would. *)
+  let kernel rng i = (i, Rng.int rng 1_000_000, Rng.float rng 1.) in
+  let expected =
+    let rng = Rng.create 7 in
+    Array.init 20 (fun i ->
+        let sub = Rng.split rng in
+        kernel sub i)
+  in
+  let actual = Exec.map_replicas ~jobs:2 ~rng:(Rng.create 7) ~replicas:20 kernel in
+  Alcotest.(check bool) "matches hand-rolled split loop" true (actual = expected)
+
+let test_seed_stability () =
+  (* Pinned output of one fig9-style replica under the canonical seed.
+     If this changes, every published number in the repo changes with it:
+     bump deliberately, never silently. *)
+  let results = Exec.map_replicas ~jobs:2 ~rng:(Rng.create 42) ~replicas:10 fig9_kernel in
+  let _, edges, mates = results.(3) in
+  Alcotest.(check int) "replica 3 edge count" 54 edges;
+  Alcotest.(check (list int)) "replica 3 mates of peer 0" [ 20; 29 ] mates.(0)
+
+let test_map_indexed () =
+  let f k = (k, k * k) in
+  let reference = Array.init 11 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "map_indexed jobs=%d" jobs)
+        true
+        (Exec.map_indexed ~jobs ~count:11 f = reference))
+    job_counts
+
+let test_reduce_replicas () =
+  (* Floating-point sum: non-associative, so this also checks the fixed
+     merge-tree order. *)
+  let kernel rng _ = Rng.float rng 1. in
+  let run jobs =
+    Exec.reduce_replicas ~jobs ~rng:(Rng.create 9) ~replicas:33 ~merge:( +. ) kernel
+  in
+  let reference = run 1 in
+  Alcotest.(check bool) "non-empty" true (reference <> None);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reduce jobs=%d bit-identical" jobs)
+        true
+        (run jobs = reference))
+    job_counts;
+  Alcotest.(check bool) "empty is None" true
+    (Exec.reduce_replicas ~jobs:2 ~rng:(Rng.create 9) ~replicas:0 ~merge:( +. ) kernel = None)
+
+let test_online_replicas () =
+  let kernel rng _ = Stratify_prng.Dist.normal rng ~mu:0. ~sigma:1. in
+  let stats jobs =
+    let o = Exec.online_replicas ~jobs ~rng:(Rng.create 5) ~replicas:40 kernel in
+    (Online.count o, Online.mean o, Online.variance o, Online.min_value o, Online.max_value o)
+  in
+  let reference = stats 1 in
+  let count, _, _, _, _ = reference in
+  Alcotest.(check int) "count" 40 count;
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "online jobs=%d bit-identical" jobs)
+        true
+        (stats jobs = reference))
+    job_counts
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "kernel failure re-raised (jobs=%d)" jobs)
+        (Failure "replica 5 exploded")
+        (fun () ->
+          ignore
+            (Exec.map_replicas ~jobs ~rng:(Rng.create 1) ~replicas:8 (fun _rng i ->
+                 if i = 5 then failwith "replica 5 exploded"))))
+    [ 1; 2 ]
+
+let test_argument_validation () =
+  let kernel _rng i = i in
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Exec.map_replicas: jobs must be positive") (fun () ->
+      ignore (Exec.map_replicas ~jobs:0 ~rng:(Rng.create 1) ~replicas:4 kernel));
+  Alcotest.check_raises "negative replicas rejected"
+    (Invalid_argument "Exec.map_replicas: negative count") (fun () ->
+      ignore (Exec.map_replicas ~jobs:1 ~rng:(Rng.create 1) ~replicas:(-1) kernel));
+  Alcotest.check_raises "chunk=0 rejected"
+    (Invalid_argument "Exec.map_replicas: chunk must be positive") (fun () ->
+      ignore (Exec.map_replicas ~chunk:0 ~jobs:1 ~rng:(Rng.create 1) ~replicas:4 kernel));
+  (* Degenerate sizes are fine. *)
+  Alcotest.(check bool) "zero replicas" true
+    (Exec.map_replicas ~jobs:4 ~rng:(Rng.create 1) ~replicas:0 kernel = [||]);
+  Alcotest.(check bool) "more jobs than replicas" true
+    (Exec.map_replicas ~jobs:16 ~rng:(Rng.create 1) ~replicas:3 kernel = [| 0; 1; 2 |])
+
+let suite =
+  [
+    Alcotest.test_case "map_replicas jobs-invariant" `Quick test_map_replicas_jobs_invariant;
+    Alcotest.test_case "matches sequential split loop" `Quick
+      test_map_replicas_matches_sequential_split;
+    Alcotest.test_case "seed stability (pinned)" `Quick test_seed_stability;
+    Alcotest.test_case "map_indexed jobs-invariant" `Quick test_map_indexed;
+    Alcotest.test_case "reduce_replicas jobs-invariant" `Quick test_reduce_replicas;
+    Alcotest.test_case "online_replicas jobs-invariant" `Quick test_online_replicas;
+    Alcotest.test_case "kernel exceptions propagate" `Quick test_exception_propagates;
+    Alcotest.test_case "argument validation" `Quick test_argument_validation;
+  ]

@@ -13,5 +13,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("applications", Test_applications.suite);
       ("async", Test_async.suite);
+      ("exec", Test_exec.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -105,6 +105,78 @@ let test_config_drop_worst_copy_equal () =
   Alcotest.(check (option int)) "drop empty" None (Config.drop_worst c 0);
   Alcotest.(check bool) "signatures differ" true (Config.signature c <> Config.signature c2)
 
+let prop_config_worst_cache_matches_lists =
+  (* [Config] caches each peer's worst mate for O(1) [worst_mate]/[mated];
+     this drives random connect/disconnect/drop_worst sequences against
+     the plain-list reference the cache replaced ([List.nth] for worst,
+     [List.mem] for membership) and demands identical observations
+     throughout. *)
+  Helpers.qtest ~count:200 "worst-mate cache = list reference under random ops"
+    Helpers.instance_params (fun (seed, n, p, bmax) ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_instance rng ~n ~p ~bmax in
+      let n = Instance.n inst in
+      let c = Config.empty inst in
+      let model = Array.make n [] in
+      let model_worst q =
+        match model.(q) with [] -> None | l -> Some (List.nth l (List.length l - 1))
+      in
+      let model_connect a b =
+        model.(a) <- List.sort compare (b :: model.(a));
+        model.(b) <- List.sort compare (a :: model.(b))
+      in
+      let model_disconnect a b =
+        model.(a) <- List.filter (( <> ) b) model.(a);
+        model.(b) <- List.filter (( <> ) a) model.(b)
+      in
+      let agree q =
+        Config.mates c q = model.(q)
+        && Config.worst_mate c q = model_worst q
+        && Config.degree c q = List.length model.(q)
+        && List.for_all
+             (fun other -> Config.mated c q other = List.mem other model.(q))
+             (Array.to_list (Instance.acceptable inst q))
+      in
+      let ok = ref true in
+      for _ = 1 to 120 do
+        let a = Rng.int rng n in
+        (match Rng.int rng 3 with
+        | 0 ->
+            (* Connect [a] to a random acceptable free peer, if any. *)
+            let candidates =
+              List.filter
+                (fun b ->
+                  Config.free_slots c b > 0 && (not (List.mem b model.(a))) && b <> a)
+                (Array.to_list (Instance.acceptable inst a))
+            in
+            if Config.free_slots c a > 0 && candidates <> [] then begin
+              let b = List.nth candidates (Rng.int rng (List.length candidates)) in
+              Config.connect c a b;
+              model_connect a b
+            end
+        | 1 -> (
+            match (Config.drop_worst c a, model_worst a) with
+            | Some w, Some w' when w = w' -> model_disconnect a w
+            | None, None -> ()
+            | _ -> ok := false)
+        | _ ->
+            (* Disconnect a uniformly random current mate. *)
+            if model.(a) <> [] then begin
+              let b = List.nth model.(a) (Rng.int rng (List.length model.(a))) in
+              Config.disconnect c a b;
+              model_disconnect a b
+            end);
+        if not (agree a) then ok := false
+      done;
+      !ok
+      && (let all = ref true in
+          for q = 0 to n - 1 do
+            if not (agree q) then all := false
+          done;
+          !all)
+      && Config.edge_count c
+         = Array.fold_left (fun acc l -> acc + List.length l) 0 model / 2)
+
 (* ------------------------------------------------------------------ *)
 (* Blocking                                                            *)
 
@@ -564,6 +636,7 @@ let suite =
     Alcotest.test_case "config connect/disconnect" `Quick test_config_connect_disconnect;
     Alcotest.test_case "config guards" `Quick test_config_guards;
     Alcotest.test_case "config drop/copy/equal" `Quick test_config_drop_worst_copy_equal;
+    prop_config_worst_cache_matches_lists;
     Alcotest.test_case "blocking pairs" `Quick test_blocking_basics;
     Alcotest.test_case "blocking with zero budgets" `Quick test_blocking_zero_budget;
     Alcotest.test_case "stability check" `Quick test_stability_check;

@@ -144,6 +144,55 @@ let test_zipf_support_and_monotone () =
   Alcotest.(check bool) "rank 1 most frequent" true (counts.(0) > counts.(1));
   Alcotest.(check bool) "rank 2 > rank 5" true (counts.(1) > counts.(4))
 
+let test_zipf_chi_square () =
+  (* Goodness of fit of [Zipf.draw] against its own [probability] mass.
+     chi² over 10 cells with 9 degrees of freedom: the 99.9th percentile
+     is 27.88, so a correct sampler fails with probability < 0.1% — and
+     deterministically never, given the fixed seed. *)
+  let n = 10 and s = 1.2 and draws = 100_000 in
+  let z = Dist.Zipf.create ~n ~s in
+  Alcotest.(check int) "size" n (Dist.Zipf.size z);
+  let g = Rng.create 42 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Dist.Zipf.draw z g in
+    counts.(k - 1) <- counts.(k - 1) + 1
+  done;
+  let chi2 = ref 0. in
+  for k = 1 to n do
+    let expected = float_of_int draws *. Dist.Zipf.probability z k in
+    let diff = float_of_int counts.(k - 1) -. expected in
+    chi2 := !chi2 +. (diff *. diff /. expected)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f < 27.88 (df=9, p=0.001)" !chi2)
+    true (!chi2 < 27.88);
+  (* The mass function itself must be Zipf: p(k) ∝ k^-s, normalised. *)
+  let h = ref 0. in
+  for k = 1 to n do
+    h := !h +. (1. /. Float.pow (float_of_int k) s)
+  done;
+  for k = 1 to n do
+    Helpers.check_close ~eps:1e-12
+      (Printf.sprintf "p(%d)" k)
+      (1. /. Float.pow (float_of_int k) s /. !h)
+      (Dist.Zipf.probability z k)
+  done
+
+let test_zipf_wrapper_matches_table () =
+  (* The backward-compatible [zipf] wrapper must consume the rng stream
+     exactly like a fresh-table draw. *)
+  let a = Rng.create 9 and b = Rng.create 9 in
+  let z = Dist.Zipf.create ~n:50 ~s:0.8 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "same draw" (Dist.zipf a ~n:50 ~s:0.8) (Dist.Zipf.draw z b)
+  done;
+  Alcotest.check_raises "n=0 rejected" (Invalid_argument "Dist.zipf: n must be positive")
+    (fun () -> ignore (Dist.Zipf.create ~n:0 ~s:1.));
+  Alcotest.check_raises "rank out of range"
+    (Invalid_argument "Dist.Zipf.probability: rank out of range") (fun () ->
+      ignore (Dist.Zipf.probability z 51))
+
 let test_rounded_positive_normal () =
   let g = Rng.create 13 in
   for _ = 1 to 10_000 do
@@ -246,6 +295,8 @@ let suite =
     Alcotest.test_case "binomial moments" `Slow test_binomial_moments;
     Alcotest.test_case "binomial extremes" `Quick test_binomial_extremes;
     Alcotest.test_case "zipf support and monotonicity" `Slow test_zipf_support_and_monotone;
+    Alcotest.test_case "zipf chi-square fit" `Slow test_zipf_chi_square;
+    Alcotest.test_case "zipf wrapper = precomputed table" `Quick test_zipf_wrapper_matches_table;
     Alcotest.test_case "rounded positive normal" `Quick test_rounded_positive_normal;
     Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
     Alcotest.test_case "shuffle first-element uniformity" `Slow test_shuffle_uniform_first_element;
