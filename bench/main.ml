@@ -11,7 +11,11 @@
      BENCH_SCALE=0.2     shrink the regeneration workloads (default 1.0)
      BENCH_JOBS=4        worker domains for the regeneration pass
                          (default: recommended domain count)
-     BENCH_SKIP_REGEN=1  run only the micro-benchmarks. *)
+     BENCH_SKIP_REGEN=1  run only the micro-benchmarks
+     BENCH_OUT=path      where to write the parallel-scaling run
+                         manifest (default BENCH_parallel.json — the
+                         checked-in baseline the bench-regression CI job
+                         compares against). *)
 
 open Bechamel
 
@@ -38,7 +42,7 @@ let regenerate () =
     | Some s -> ( try max 1 (int_of_string s) with _ -> Exec.default_jobs ())
     | None -> Exec.default_jobs ()
   in
-  let ctx = { E.seed = 42; scale; csv_dir = None; jobs } in
+  let ctx = { E.seed = 42; scale; csv_dir = None; jobs; manifest_dir = None } in
   Printf.printf "Regenerating all tables and figures (scale %g, jobs %d)\n%!" scale jobs;
   List.iter
     (fun (_, _, f) ->
@@ -283,17 +287,30 @@ let run_benchmarks () =
 
 let bench_parallel_scaling () =
   print_endline "\n================ Parallel replication scaling ================";
-  (* Fig 9's Monte-Carlo kernel: one G(n,p) instance solved to stability. *)
+  (* Fig 9's Monte-Carlo kernel: one G(n,p) instance solved to stability.
+     The whole section runs with the stratify.obs probes on and is
+     published as a run manifest — the same schema the experiments emit
+     under --manifest — so CI can track the perf trajectory and pin the
+     kernel checksum without parsing free-form text. *)
+  let module Obs = Stratify_obs in
   let n = 500 and p = 0.02 and replicas = 24 in
   let kernel rng _i =
     let adj = Gen.gnp_adjacency rng ~n ~p in
     let inst = Instance.of_adjacency ~adj ~b:(Array.make n 2) () in
     Config.edge_count (Greedy.stable_config inst)
   in
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
   let time_once jobs =
     let rng = Rng.create 42 in
     let t0 = Unix.gettimeofday () in
-    let results = Exec.map_replicas ~jobs ~rng ~replicas kernel in
+    let results =
+      Obs.Span.with_
+        (Printf.sprintf "bench.jobs_%d" jobs)
+        (fun () -> Exec.map_replicas ~jobs ~rng ~replicas kernel)
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let checksum = Array.fold_left ( + ) 0 results in
     (float_of_int replicas /. dt, checksum)
@@ -310,22 +327,31 @@ let bench_parallel_scaling () =
       job_counts
   in
   (* All job counts must agree bit-for-bit on the results. *)
-  (match rows with
-  | (_, _, c0) :: rest ->
-      List.iter
-        (fun (jobs, _, c) ->
-          if c <> c0 then failwith (Printf.sprintf "jobs=%d checksum mismatch" jobs))
-        rest
-  | [] -> ());
-  let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc "{\n  \"kernel\": \"fig9 G(n,p) stable 2-matching\",\n";
-  Printf.fprintf oc "  \"n\": %d, \"p\": %g, \"replicas\": %d,\n" n p replicas;
-  Printf.fprintf oc "  \"available_cores\": %d,\n" (Domain.recommended_domain_count ());
-  Printf.fprintf oc "  \"replicas_per_sec\": {%s}\n"
-    (String.concat ", " (List.map (fun (j, r, _) -> Printf.sprintf "\"%d\": %.2f" j r) rows));
-  Printf.fprintf oc "}\n";
-  close_out oc;
-  print_endline "  wrote BENCH_parallel.json"
+  let checksum =
+    match rows with
+    | (_, _, c0) :: rest ->
+        List.iter
+          (fun (jobs, _, c) ->
+            if c <> c0 then failwith (Printf.sprintf "jobs=%d checksum mismatch" jobs))
+          rest;
+        c0
+    | [] -> 0
+  in
+  Obs.Counter.add (Obs.Counter.make "bench.checksum") checksum;
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_parallel" ~seed:42 ~scale:1.0
+      ~jobs:(List.fold_left max 1 job_counts)
+      ~metrics:
+        ([ ("n", float_of_int n); ("p", p); ("replicas", float_of_int replicas) ]
+        @ List.map (fun (j, r, _) -> (Printf.sprintf "replicas_per_sec/%d" j, r)) rows)
+      ()
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_OUT" with Some p when p <> "" -> p | _ -> "BENCH_parallel.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
 
 let bench_stability_detection () =
   print_endline "\n================ Stability-detection fix ================";

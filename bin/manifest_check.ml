@@ -1,0 +1,123 @@
+(* Compare run manifests against checked-in baselines — the decision
+   logic behind the bench-regression and golden-experiments CI jobs,
+   kept in the repo so it is testable and usable locally.
+
+   Usage:
+     manifest_check bench  BASELINE.json CANDIDATE.json [--max-slowdown 2.0]
+     manifest_check golden GOLDEN.json   CANDIDATE.json [--counters k1,k2,...]
+
+   `bench` enforces the perf/correctness contract: every "checksum"
+   counter of the baseline must match the candidate exactly, and every
+   "replicas_per_sec/<jobs>" metric may not be more than --max-slowdown
+   times slower (faster is always fine — baselines only ratchet by being
+   regenerated and committed).
+
+   `golden` enforces determinism end to end: the named counters (default:
+   all counters recorded in the golden manifest) must match exactly, as
+   must name, seed and scale.  Timings are ignored — they are the
+   machine's business, not the algorithm's. *)
+
+module M = Stratify_obs.Run_manifest
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n" s)
+    fmt
+
+let ok fmt = Printf.ksprintf (fun s -> Printf.printf "  ok %s\n" s) fmt
+
+let check_bench ~max_slowdown baseline candidate =
+  List.iter
+    (fun (name, expected) ->
+      if String.length name >= 8 && String.sub name 0 8 = "checksum" || name = "bench.checksum"
+      then
+        match M.counter candidate name with
+        | Some got when got = expected -> ok "counter %s = %d" name got
+        | Some got -> fail "counter %s: baseline %d, candidate %d" name expected got
+        | None -> fail "counter %s missing from candidate" name)
+    baseline.M.counters;
+  List.iter
+    (fun (name, base_rate) ->
+      let is_rate =
+        String.length name >= 16 && String.sub name 0 16 = "replicas_per_sec"
+      in
+      if is_rate then
+        match M.metric candidate name with
+        | None -> fail "metric %s missing from candidate" name
+        | Some rate when rate *. max_slowdown < base_rate ->
+            fail "metric %s: %.2f is over %.1fx slower than baseline %.2f" name rate max_slowdown
+              base_rate
+        | Some rate -> ok "metric %s: %.2f vs baseline %.2f" name rate base_rate)
+    baseline.M.metrics
+
+let check_golden ~counters golden candidate =
+  if golden.M.name <> candidate.M.name then
+    fail "experiment name: golden %s, candidate %s" golden.M.name candidate.M.name;
+  if golden.M.seed <> candidate.M.seed then
+    fail "seed: golden %d, candidate %d" golden.M.seed candidate.M.seed;
+  if golden.M.scale <> candidate.M.scale then
+    fail "scale: golden %g, candidate %g" golden.M.scale candidate.M.scale;
+  let keys =
+    match counters with Some ks -> ks | None -> List.map fst golden.M.counters
+  in
+  List.iter
+    (fun key ->
+      match (M.counter golden key, M.counter candidate key) with
+      | Some g, Some c when g = c -> ok "counter %s = %d" key g
+      | Some g, Some c -> fail "counter %s: golden %d, candidate %d" key g c
+      | Some _, None -> fail "counter %s missing from candidate" key
+      | None, _ -> fail "counter %s missing from golden" key)
+    keys
+
+let usage () =
+  prerr_endline
+    "usage: manifest_check bench BASELINE CANDIDATE [--max-slowdown X]\n\
+    \       manifest_check golden GOLDEN CANDIDATE [--counters k1,k2,...]";
+  exit 2
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  (* Flags may appear anywhere after the mode: split them out first. *)
+  let rec split_flags = function
+    | [] -> ([], [])
+    | k :: v :: rest when String.length k >= 2 && String.sub k 0 2 = "--" ->
+        let flags, pos = split_flags rest in
+        ((k, v) :: flags, pos)
+    | k :: [] when String.length k >= 2 && String.sub k 0 2 = "--" -> usage ()
+    | p :: rest ->
+        let flags, pos = split_flags rest in
+        (flags, p :: pos)
+  in
+  let opt key flags = List.assoc_opt key flags in
+  match argv with
+  | _ :: mode :: rest -> (
+      let rest, positional = split_flags rest in
+      match positional with
+      | [ base_path; cand_path ] -> (
+      let baseline = M.read base_path and candidate = M.read cand_path in
+      Printf.printf "%s: %s vs %s\n" mode base_path cand_path;
+          (match mode with
+          | "bench" ->
+              let max_slowdown =
+                match opt "--max-slowdown" rest with
+                | Some s -> float_of_string s
+                | None -> 2.0
+              in
+              check_bench ~max_slowdown baseline candidate
+          | "golden" ->
+              let counters =
+                Option.map (String.split_on_char ',') (opt "--counters" rest)
+              in
+              check_golden ~counters baseline candidate
+          | _ -> usage ());
+          if !failures > 0 then begin
+            Printf.printf "%d check(s) failed\n" !failures;
+            exit 1
+          end
+          else print_endline "all checks passed")
+      | _ -> usage ())
+  | _ -> usage ()

@@ -34,34 +34,44 @@ let jobs_arg =
     & opt int (Stratify_exec.Exec.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
 
-let context seed scale csv_dir jobs =
+let manifest_arg =
+  let doc =
+    "Directory to write one JSON run manifest per experiment (created if missing): seed, scale, \
+     jobs, git describe, per-phase wall/CPU timings, and the step / active-initiative / rewire / \
+     chunk counter totals.  Enables the stratify.obs probes for the run; counter totals are \
+     identical for every --jobs value."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"DIR" ~doc)
+
+let context seed scale csv_dir jobs manifest_dir =
   if scale <= 0. || scale > 1. then `Error (false, "scale must be in (0, 1]")
   else if jobs < 1 then `Error (false, "jobs must be >= 1")
-  else `Ok { E.seed; scale; csv_dir; jobs }
+  else `Ok { E.seed; scale; csv_dir; jobs; manifest_dir }
 
-let run_experiment f seed scale csv_dir jobs =
-  match context seed scale csv_dir jobs with
+let run_experiment entry seed scale csv_dir jobs manifest_dir =
+  match context seed scale csv_dir jobs manifest_dir with
   | `Error _ as e -> e
   | `Ok ctx ->
-      f ctx;
+      E.run_named ctx entry;
       `Ok ()
 
-let experiment_cmd (name, description, f) =
+let experiment_cmd ((name, description, _) as entry) =
   let doc = Printf.sprintf "Regenerate %s of the paper (%s)." name description in
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(ret (const (run_experiment f) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg))
+    Term.(ret (const (run_experiment entry) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg))
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
-  let run seed scale csv_dir jobs =
-    match context seed scale csv_dir jobs with
+  let run seed scale csv_dir jobs manifest_dir =
+    match context seed scale csv_dir jobs manifest_dir with
     | `Error _ as e -> e
     | `Ok ctx ->
-        List.iter (fun (_, _, f) -> f ctx) E.all;
+        List.iter (E.run_named ctx) E.all;
         `Ok ()
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg))
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(ret (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg))
 
 let list_cmd =
   let doc = "List available experiments." in

@@ -9,9 +9,15 @@ module Bt = Stratify_bittorrent
 module Exec = Stratify_exec.Exec
 open Stratify_core
 
-type context = { seed : int; scale : float; csv_dir : string option; jobs : int }
+type context = {
+  seed : int;
+  scale : float;
+  csv_dir : string option;
+  jobs : int;
+  manifest_dir : string option;
+}
 
-let default_context = { seed = 42; scale = 1.; csv_dir = None; jobs = 1 }
+let default_context = { seed = 42; scale = 1.; csv_dir = None; jobs = 1; manifest_dir = None }
 
 let scaled ctx full = max 1 (int_of_float (Float.round (float_of_int full *. ctx.scale)))
 
@@ -1032,3 +1038,25 @@ let all =
 
 let find name =
   List.find_map (fun (n, _, f) -> if n = name then Some f else None) all
+
+(* ------------------------------------------------------------------ *)
+
+module Obs = Stratify_obs
+
+let run_named ctx (name, _desc, f) =
+  match ctx.manifest_dir with
+  | None -> f ctx
+  | Some dir ->
+      Obs.Counter.reset_all ();
+      Obs.Histogram.reset_all ();
+      Obs.Span.reset ();
+      Obs.Control.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Obs.Control.set_enabled false)
+        (fun () -> Obs.Span.with_ name (fun () -> f ctx));
+      let manifest =
+        Obs.Run_manifest.capture ~kind:"experiment" ~name ~seed:ctx.seed ~scale:ctx.scale
+          ~jobs:ctx.jobs ()
+      in
+      let path = Obs.Run_manifest.write ~dir manifest in
+      Output.note "wrote manifest %s" path

@@ -8,14 +8,36 @@
     The registry at the bottom drives both the [stratify_experiments]
     binary and the benchmark harness. *)
 
-type context = { seed : int; scale : float; csv_dir : string option; jobs : int }
+type context = {
+  seed : int;
+  scale : float;
+  csv_dir : string option;
+  jobs : int;
+  manifest_dir : string option;
+}
 (** [jobs] is the worker-domain count handed to {!Stratify_exec.Exec} by
     the Monte-Carlo-heavy experiments (fig1, table1, fig6, fig9, scaling).
     Output is bit-identical for every [jobs ≥ 1] — replicas run on
-    replica-indexed random substreams, never worker-indexed ones. *)
+    replica-indexed random substreams, never worker-indexed ones.
+
+    [manifest_dir], when set, turns observability on for the run: each
+    experiment executed through {!run_named} then writes a
+    {!Stratify_obs.Run_manifest} JSON record
+    ([<dir>/<name>-<seed>.json]) with per-phase timings, counter totals
+    (steps / active initiatives / rewires / chunks) and chunk-latency
+    histograms.  Counter totals are deterministic for a given seed and
+    identical for every [jobs] value, which is what the golden-manifest
+    CI job pins. *)
 
 val default_context : context
-(** seed 42, scale 1.0, no CSV, [jobs = 1]. *)
+(** seed 42, scale 1.0, no CSV, [jobs = 1], no manifests. *)
+
+val run_named : context -> string * string * (context -> unit) -> unit
+(** Run one registry entry.  Without [manifest_dir] this just calls the
+    function; with it, the run happens under a root {!Stratify_obs.Span}
+    named after the experiment, counters/histograms/spans are reset
+    first, and the manifest is written afterwards (observability is
+    switched back off even if the experiment raises). *)
 
 val fig1 : context -> unit
 (** Convergence from the empty configuration, (n,d) ∈

@@ -1,4 +1,11 @@
 module Rng = Stratify_prng.Rng
+module Obs = Stratify_obs
+
+(* Observability (no-ops unless [Obs.Control.enabled]): every performed
+   initiative is by definition active, so "initiative.performed" is the
+   counted-initiative total that Theorem 1's B/2 bound talks about. *)
+let c_performed = Obs.Counter.make "initiative.performed"
+let c_rewires = Obs.Counter.make "initiative.rewires"
 
 type strategy = Best_mate | Decremental | Random
 
@@ -38,6 +45,9 @@ let perform ?on_rewire config p q =
     if Config.free_slots config q <= 0 then Config.drop_worst config q else None
   in
   Config.connect config p q;
+  Obs.Counter.incr c_performed;
+  Obs.Counter.add c_rewires
+    (2 + (if dropped_p <> None then 1 else 0) + if dropped_q <> None then 1 else 0);
   match on_rewire with
   | None -> ()
   | Some note ->

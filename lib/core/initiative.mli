@@ -32,7 +32,10 @@ val perform : ?on_rewire:(int -> unit) -> Config.t -> int -> int -> unit
     for each peer whose mate list changed: the two principals and any
     dropped mates (a peer dropped by both sides is reported twice, so the
     hook must be idempotent) — this is what incremental convergence
-    detectors ({!Sim}) use to avoid rescanning the whole configuration. *)
+    detectors ({!Sim}) use to avoid rescanning the whole configuration.
+    When observability is enabled, each call bumps the
+    "initiative.performed" counter and adds the number of changed mate
+    lists to "initiative.rewires". *)
 
 val attempt :
   ?on_rewire:(int -> unit) -> Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> bool

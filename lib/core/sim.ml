@@ -1,5 +1,14 @@
 module Rng = Stratify_prng.Rng
 module Series = Stratify_stats.Series
+module Obs = Stratify_obs
+
+(* Step-granularity counters (no-ops unless [Obs.Control.enabled]): one
+   "sim.steps" per initiative attempt, one "sim.active" per active one —
+   together with "initiative.rewires" these are the totals a run
+   manifest reports, and they are jobs-invariant because atomic adds
+   commute across worker domains. *)
+let c_steps = Obs.Counter.make "sim.steps"
+let c_active = Obs.Counter.make "sim.active"
 
 type t = {
   instance : Instance.t;
@@ -33,6 +42,8 @@ let step t =
   t.steps <- t.steps + 1;
   let was_active = Initiative.attempt t.config t.state t.strategy t.rng p in
   if was_active then t.active <- t.active + 1;
+  Obs.Counter.incr c_steps;
+  if was_active then Obs.Counter.incr c_active;
   was_active
 
 let run_units t units =
@@ -101,6 +112,8 @@ let step_tracked t ~on_rewire =
   t.steps <- t.steps + 1;
   let was_active = Initiative.attempt ~on_rewire t.config t.state t.strategy t.rng p in
   if was_active then t.active <- t.active + 1;
+  Obs.Counter.incr c_steps;
+  if was_active then Obs.Counter.incr c_active;
   was_active
 
 let run_until_stable t ~stable ~max_units =

@@ -2,7 +2,14 @@
 
     Each step picks a uniformly random peer which attempts one initiative.
     [n] consecutive steps form one {e base unit} ("one expected initiative
-    per peer"), the time axis of Figs 1–3. *)
+    per peer"), the time axis of Figs 1–3.
+
+    When {!Stratify_obs.Control.enabled} is on, every step bumps the
+    "sim.steps" counter and every active step "sim.active" (and, through
+    {!Initiative.perform}, "initiative.performed"/"initiative.rewires"),
+    so run manifests can check Theorem 1's counted-initiative bound
+    against what actually happened; with the switch off the probes cost
+    one boolean load per step. *)
 
 type t
 

@@ -1,7 +1,16 @@
 module Rng = Stratify_prng.Rng
 module Online = Stratify_stats.Online
+module Obs = Stratify_obs
 
 let default_jobs () = Domain.recommended_domain_count ()
+
+(* Observability (no-ops unless [Obs.Control.enabled]).  Counters and
+   the chunk-latency histogram are atomic, so workers record from their
+   own domains; the drain/merge spans are opened by the coordinator
+   only, which is the domain every [Exec] entry point runs on. *)
+let c_chunks = Obs.Counter.make "exec.chunks"
+let c_tasks = Obs.Counter.make "exec.tasks"
+let h_chunk_ns = Obs.Histogram.make "exec.chunk_ns"
 
 (* Run [work lo hi] over every chunk [lo, hi) of [0, count), on [jobs]
    domains pulling chunk indices from an atomic counter.  The calling
@@ -11,12 +20,22 @@ let run_chunked ~chunk ~jobs ~count work =
     let jobs = max 1 (min jobs count) in
     let n_chunks = (count + chunk - 1) / chunk in
     let next = Atomic.make 0 in
+    let observing = Obs.Control.enabled () in
     let worker () =
       let rec loop () =
         let c = Atomic.fetch_and_add next 1 in
         if c < n_chunks then begin
           let lo = c * chunk in
-          work lo (min count (lo + chunk));
+          let hi = min count (lo + chunk) in
+          if observing then begin
+            let t0 = Unix.gettimeofday () in
+            work lo hi;
+            Obs.Histogram.observe h_chunk_ns
+              (int_of_float (1e9 *. (Unix.gettimeofday () -. t0)));
+            Obs.Counter.incr c_chunks;
+            Obs.Counter.add c_tasks (hi - lo)
+          end
+          else work lo hi;
           loop ()
         end
       in
@@ -52,19 +71,21 @@ let map_replicas ?(chunk = 1) ~jobs ~rng ~replicas f =
      nor scheduling can perturb any stream. *)
   let streams = Array.init replicas (fun _ -> Rng.split rng) in
   let out = Array.make replicas None in
-  run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
-      for i = lo to hi - 1 do
-        out.(i) <- Some (f streams.(i) i)
-      done);
+  Obs.Span.with_ "exec.drain" (fun () ->
+      run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- Some (f streams.(i) i)
+          done));
   gather "Exec.map_replicas" out
 
 let map_indexed ?(chunk = 1) ~jobs ~count f =
   check_args "Exec.map_indexed" ~chunk ~jobs ~count;
   let out = Array.make count None in
-  run_chunked ~chunk ~jobs ~count (fun lo hi ->
-      for i = lo to hi - 1 do
-        out.(i) <- Some (f i)
-      done);
+  Obs.Span.with_ "exec.drain" (fun () ->
+      run_chunked ~chunk ~jobs ~count (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- Some (f i)
+          done));
   gather "Exec.map_indexed" out
 
 let reduce_replicas ?(chunk = 1) ~jobs ~rng ~replicas ~merge map =
@@ -72,28 +93,31 @@ let reduce_replicas ?(chunk = 1) ~jobs ~rng ~replicas ~merge map =
   let streams = Array.init replicas (fun _ -> Rng.split rng) in
   let n_chunks = (replicas + chunk - 1) / chunk in
   let accs = Array.make n_chunks None in
-  run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
-      let acc = ref (map streams.(lo) lo) in
-      for i = lo + 1 to hi - 1 do
-        acc := merge !acc (map streams.(i) i)
-      done;
-      accs.(lo / chunk) <- Some !acc);
-  Array.fold_left
-    (fun acc c ->
-      match acc, c with
-      | None, v -> v
-      | Some a, Some b -> Some (merge a b)
-      | Some _, None -> acc)
-    None accs
+  Obs.Span.with_ "exec.drain" (fun () ->
+      run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
+          let acc = ref (map streams.(lo) lo) in
+          for i = lo + 1 to hi - 1 do
+            acc := merge !acc (map streams.(i) i)
+          done;
+          accs.(lo / chunk) <- Some !acc));
+  Obs.Span.with_ "exec.merge" (fun () ->
+      Array.fold_left
+        (fun acc c ->
+          match acc, c with
+          | None, v -> v
+          | Some a, Some b -> Some (merge a b)
+          | Some _, None -> acc)
+        None accs)
 
 let online_replicas ?(chunk = 1) ~jobs ~rng ~replicas f =
   check_args "Exec.online_replicas" ~chunk ~jobs ~count:replicas;
   let streams = Array.init replicas (fun _ -> Rng.split rng) in
   let n_chunks = (replicas + chunk - 1) / chunk in
   let accs = Array.init (max 1 n_chunks) (fun _ -> Online.create ()) in
-  run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
-      let acc = accs.(lo / chunk) in
-      for i = lo to hi - 1 do
-        Online.add acc (f streams.(i) i)
-      done);
-  Array.fold_left Online.merge (Online.create ()) accs
+  Obs.Span.with_ "exec.drain" (fun () ->
+      run_chunked ~chunk ~jobs ~count:replicas (fun lo hi ->
+          let acc = accs.(lo / chunk) in
+          for i = lo to hi - 1 do
+            Online.add acc (f streams.(i) i)
+          done));
+  Obs.Span.with_ "exec.merge" (fun () -> Array.fold_left Online.merge (Online.create ()) accs)

@@ -17,7 +17,15 @@
 
     Workers pull chunks of replica indices from an atomic counter
     (work-stealing over chunks), which keeps the pool busy when kernel
-    running times are uneven. *)
+    running times are uneven.
+
+    Observability: when {!Stratify_obs.Control.enabled} is on, workers
+    count claimed chunks ("exec.chunks") and replicas ("exec.tasks") and
+    record per-chunk wall latency in the "exec.chunk_ns" log-scale
+    histogram; the coordinator wraps the pool drain and the final
+    reduction in the "exec.drain" / "exec.merge" spans.  None of this
+    perturbs results — probes never touch the RNG streams or the merge
+    order. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs] defaults to. *)

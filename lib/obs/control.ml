@@ -1,0 +1,8 @@
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let saved = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag saved) f

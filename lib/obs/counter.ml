@@ -1,0 +1,33 @@
+type t = { name : string; cell : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
+
+let make name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c)
+
+let name t = t.name
+let incr t = if Control.enabled () then Atomic.incr t.cell
+
+let add t k =
+  if k < 0 then invalid_arg "Obs.Counter.add: negative increment";
+  if Control.enabled () then ignore (Atomic.fetch_and_add t.cell k)
+
+let value t = Atomic.get t.cell
+
+let dump () =
+  let all =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) registry [])
+  in
+  List.sort compare all
+
+let reset_all () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry)

@@ -1,0 +1,33 @@
+(** Cheap monotonic event counters.
+
+    A counter is a named atomic integer cell registered in a global
+    table; {!incr}/{!add} are gated on {!Control.enabled} so a disabled
+    counter costs one boolean load.  Cells are domain-safe (atomic
+    adds), and because addition commutes, totals are independent of how
+    replicas were scheduled across workers — the counter sums reported
+    in run manifests are bit-identical for any [--jobs] value. *)
+
+type t
+
+val make : string -> t
+(** [make name] returns the counter registered under [name], creating
+    it on first use (idempotent, so modules can declare counters at
+    top-level and tests can re-request them). *)
+
+val name : t -> string
+
+val incr : t -> unit
+(** Add 1 when observability is enabled; no-op otherwise. *)
+
+val add : t -> int -> unit
+(** Add [k >= 0] when observability is enabled; no-op otherwise.
+    Raises [Invalid_argument] on negative [k] — counters are monotone
+    while the switch stays on. *)
+
+val value : t -> int
+
+val dump : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Zero every registered counter (start of an instrumented run). *)

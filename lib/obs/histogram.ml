@@ -1,0 +1,53 @@
+let buckets = 64
+
+type t = { name : string; cells : int Atomic.t array }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let make name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h = { name; cells = Array.init buckets (fun _ -> Atomic.make 0) } in
+          Hashtbl.add registry name h;
+          h)
+
+let name t = t.name
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* Position of the highest set bit, plus one: 1 -> 1, 2..3 -> 2,
+       4..7 -> 3, …  Exact by construction — no float log. *)
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      incr b;
+      x := !x lsr 1
+    done;
+    !b
+  end
+
+let lower_bound b = if b <= 0 then 0 else 1 lsl (b - 1)
+let observe t v = if Control.enabled () then Atomic.incr t.cells.(bucket_of v)
+
+let counts t =
+  let hi = ref 0 in
+  Array.iteri (fun i c -> if Atomic.get c > 0 then hi := i + 1) t.cells;
+  Array.init !hi (fun i -> Atomic.get t.cells.(i))
+
+let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+
+let dump () =
+  let all =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold
+          (fun name h acc -> if total h > 0 then (name, counts h) :: acc else acc)
+          registry [])
+  in
+  List.sort compare all
+
+let reset_all () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ h -> Array.iter (fun c -> Atomic.set c 0) h.cells) registry)

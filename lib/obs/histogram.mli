@@ -1,0 +1,41 @@
+(** Log-scale latency histograms with power-of-two bucket boundaries.
+
+    Bucket 0 holds non-positive observations; bucket [b >= 1] holds the
+    integer range [[2^(b-1), 2^b - 1]] — so boundaries are {e exact} at
+    powers of two: an observation of [2^k] lands one bucket above
+    [2^k - 1].  64 buckets cover the whole of [int].  Values are meant
+    to be latencies in nanoseconds (a chunk of Monte-Carlo replicas, a
+    queue drain), where factor-of-two resolution is plenty and recording
+    is one atomic increment.
+
+    Like counters, histograms are registered globally by name, gated on
+    {!Control.enabled}, and domain-safe. *)
+
+type t
+
+val make : string -> t
+(** Registered under [name]; idempotent like {!Counter.make}. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one observation when observability is enabled. *)
+
+val bucket_of : int -> int
+(** The bucket index an observation would land in (pure; exposed for
+    tests and decoders). *)
+
+val lower_bound : int -> int
+(** Smallest value of a bucket: [0] for bucket 0, [2^(b-1)] for
+    [b >= 1]. *)
+
+val counts : t -> int array
+(** Per-bucket counts up to the highest non-empty bucket (so an unused
+    histogram yields [[||]]). *)
+
+val total : t -> int
+
+val dump : unit -> (string * int array) list
+(** All registered histograms with non-zero totals, sorted by name. *)
+
+val reset_all : unit -> unit

@@ -1,0 +1,260 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal form that parses back to the same float. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec emit buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep () = Buffer.add_string buf (if indent then ",\n" else ", ") in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null" (* JSON has no NaN/inf *)
+  | String s -> escape_string buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then sep ();
+          pad (level + 1);
+          emit buf ~indent ~level:(level + 1) item)
+        items;
+      nl ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then sep ();
+          pad (level + 1);
+          escape_string buf k;
+          Buffer.add_string buf ": ";
+          emit buf ~indent ~level:(level + 1) item)
+        fields;
+      nl ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = true) v =
+  let buf = Buffer.create 256 in
+  emit buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg cur.pos))
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let next cur =
+  match peek cur with
+  | Some c ->
+      cur.pos <- cur.pos + 1;
+      c
+  | None -> fail cur "unexpected end of input"
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur
+  | _ -> ()
+
+let expect cur c = if next cur <> c then fail cur (Printf.sprintf "expected '%c'" c)
+
+let literal cur word value =
+  String.iter (fun c -> if next cur <> c then fail cur ("bad literal " ^ word)) word;
+  value
+
+let utf8_of_code buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string cur =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match next cur with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (match next cur with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            let hex = String.init 4 (fun _ -> next cur) in
+            let u =
+              try int_of_string ("0x" ^ hex) with _ -> fail cur ("bad \\u escape " ^ hex)
+            in
+            utf8_of_code buf u
+        | c -> fail cur (Printf.sprintf "bad escape '\\%c'" c));
+        go ()
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number cur =
+  let start = cur.pos in
+  let numchar = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek cur with Some c -> numchar c | None -> false) do
+    cur.pos <- cur.pos + 1
+  done;
+  let s = String.sub cur.src start (cur.pos - start) in
+  let is_float = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s in
+  if is_float then
+    match float_of_string_opt s with Some f -> Float f | None -> fail cur ("bad number " ^ s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail cur ("bad number " ^ s))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' ->
+      cur.pos <- cur.pos + 1;
+      String (parse_string cur)
+  | Some '[' ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        cur.pos <- cur.pos + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match next cur with
+          | ',' -> items (v :: acc)
+          | ']' -> List.rev (v :: acc)
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      cur.pos <- cur.pos + 1;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        cur.pos <- cur.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws cur;
+          expect cur '"';
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          (k, parse_value cur)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws cur;
+          match next cur with
+          | ',' -> fields (kv :: acc)
+          | '}' -> List.rev (kv :: acc)
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some _ -> parse_number cur
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+
+let shape_error what v =
+  let tag =
+    match v with
+    | Null -> "null"
+    | Bool _ -> "bool"
+    | Int _ -> "int"
+    | Float _ -> "float"
+    | String _ -> "string"
+    | List _ -> "array"
+    | Obj _ -> "object"
+  in
+  raise (Parse_error (Printf.sprintf "expected %s, got %s" what tag))
+
+let member key = function
+  | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
+  | v -> shape_error ("object with member " ^ key) v
+
+let get_int = function Int i -> i | v -> shape_error "int" v
+let get_float = function Float f -> f | Int i -> float_of_int i | v -> shape_error "number" v
+let get_string = function String s -> s | v -> shape_error "string" v
+let get_list = function List l -> l | v -> shape_error "array" v
+let get_obj = function Obj o -> o | v -> shape_error "object" v

@@ -1,0 +1,43 @@
+type agg = { mutable wall : float; mutable cpu : float; mutable count : int }
+
+let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref [] (* reversed first-entry order *)
+let stack : int ref = ref 0
+
+let agg_of name =
+  match Hashtbl.find_opt aggregates name with
+  | Some a -> a
+  | None ->
+      let a = { wall = 0.; cpu = 0.; count = 0 } in
+      Hashtbl.add aggregates name a;
+      order := name :: !order;
+      a
+
+let with_ name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let a = agg_of name in
+    let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+    incr stack;
+    Fun.protect
+      ~finally:(fun () ->
+        decr stack;
+        a.wall <- a.wall +. (Unix.gettimeofday () -. w0);
+        a.cpu <- a.cpu +. (Sys.time () -. c0);
+        a.count <- a.count + 1)
+      f
+  end
+
+let totals () =
+  List.rev_map
+    (fun name ->
+      let a = Hashtbl.find aggregates name in
+      (name, (a.wall, a.cpu, a.count)))
+    !order
+
+let depth () = !stack
+
+let reset () =
+  if !stack > 0 then invalid_arg "Obs.Span.reset: spans still open";
+  Hashtbl.reset aggregates;
+  order := []

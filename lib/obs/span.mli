@@ -1,0 +1,30 @@
+(** Span-scoped probes: named, nestable wall/CPU timing regions.
+
+    [with_ "exec.merge" f] times [f] and folds the interval into the
+    global aggregate for that name (total wall, total CPU, entry count).
+    Spans nest — an inner span's time is also part of every enclosing
+    span's time, which is what a phase breakdown wants — and the
+    aggregates come back in first-entry order, which gives run manifests
+    a stable, chronological phase list.
+
+    Spans are {e coordinator-domain} probes: they share one aggregation
+    table and one stack, so only the domain that orchestrates a run may
+    open them.  Worker-domain measurements belong in {!Histogram} or
+    {!Counter}.  When {!Control.enabled} is false, [with_] runs its
+    thunk with no clock reads at all. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** Time the thunk under the given span name (exception-safe: the
+    interval is recorded even if the thunk raises). *)
+
+val totals : unit -> (string * (float * float * int)) list
+(** [(name, (wall_s, cpu_s, count))] per span name, in the order the
+    names were first entered. *)
+
+val depth : unit -> int
+(** Number of currently open spans (0 outside any [with_]) — exposed so
+    tests can assert proper nesting and unwinding. *)
+
+val reset : unit -> unit
+(** Drop all aggregates.  Raises [Invalid_argument] if spans are still
+    open. *)

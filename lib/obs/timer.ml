@@ -1,0 +1,28 @@
+type t = {
+  mutable wall : float;
+  mutable cpu : float;
+  mutable since : (float * float) option; (* (wall, cpu) at [start] *)
+}
+
+let create () = { wall = 0.; cpu = 0.; since = None }
+
+let start t =
+  match t.since with
+  | Some _ -> invalid_arg "Obs.Timer.start: already running"
+  | None -> t.since <- Some (Unix.gettimeofday (), Sys.time ())
+
+let stop t =
+  match t.since with
+  | None -> invalid_arg "Obs.Timer.stop: not running"
+  | Some (w0, c0) ->
+      t.wall <- t.wall +. (Unix.gettimeofday () -. w0);
+      t.cpu <- t.cpu +. (Sys.time () -. c0);
+      t.since <- None
+
+let running t = t.since <> None
+let wall_s t = t.wall
+let cpu_s t = t.cpu
+
+let time t f =
+  start t;
+  Fun.protect ~finally:(fun () -> stop t) f

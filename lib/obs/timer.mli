@@ -1,0 +1,30 @@
+(** Accumulating wall/CPU stopwatches.
+
+    A timer owns no global state: create one, [start]/[stop] it any
+    number of times, read the accumulated totals.  Wall time comes from
+    [Unix.gettimeofday], CPU time from [Sys.time] (user CPU of the
+    calling process).  Timers are single-domain objects; cross-domain
+    aggregation belongs to {!Span} (coordinator) and {!Histogram}
+    (workers). *)
+
+type t
+
+val create : unit -> t
+
+val start : t -> unit
+(** Raises [Invalid_argument] if already running. *)
+
+val stop : t -> unit
+(** Accumulate the elapsed interval.  Raises [Invalid_argument] if not
+    running. *)
+
+val running : t -> bool
+
+val wall_s : t -> float
+(** Accumulated wall-clock seconds over all completed intervals (an
+    interval in progress is not counted until [stop]). *)
+
+val cpu_s : t -> float
+
+val time : t -> (unit -> 'a) -> 'a
+(** [start], run the thunk, [stop] (exception-safe). *)

@@ -108,6 +108,61 @@ let test_online_replicas () =
         (stats jobs = reference))
     job_counts
 
+(* [online_replicas]' documented contract is "per-chunk accumulators in
+   replica order, merged in chunk order" — pinned above only at jobs
+   1/2/7 with default chunking.  This property test pins it for {e
+   random} chunk partitions and job counts: the result must be
+   bit-identical (mean, variance, count, min, max) to an independently
+   hand-rolled sequential fold over the same partition, whatever the
+   scheduling. *)
+let test_online_random_partitions =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 60 in
+      let* chunk = int_range 1 12 in
+      let* jobs = int_range 1 8 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, chunk, jobs, seed))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (n, chunk, jobs, seed) ->
+        Printf.sprintf "replicas=%d chunk=%d jobs=%d seed=%d" n chunk jobs seed)
+      gen
+  in
+  QCheck.Test.make ~count:200 ~name:"online_replicas matches sequential chunk folding" arb
+    (fun (n, chunk, jobs, seed) ->
+      (* The values each replica contributes, derived exactly as the
+         engine derives them: one split per replica off the base rng. *)
+      let values =
+        let rng = Rng.create seed in
+        Array.init n (fun _ ->
+            let sub = Rng.split rng in
+            Stratify_prng.Dist.normal sub ~mu:3. ~sigma:2.)
+      in
+      let reference =
+        let n_chunks = (n + chunk - 1) / chunk in
+        let acc = ref (Online.create ()) in
+        for c = 0 to n_chunks - 1 do
+          let o = Online.create () in
+          for i = c * chunk to min n ((c + 1) * chunk) - 1 do
+            Online.add o values.(i)
+          done;
+          acc := Online.merge !acc o
+        done;
+        !acc
+      in
+      let actual =
+        Exec.online_replicas ~chunk ~jobs ~rng:(Rng.create seed) ~replicas:n (fun rng _ ->
+            Stratify_prng.Dist.normal rng ~mu:3. ~sigma:2.)
+      in
+      let bits = Int64.bits_of_float in
+      Online.count actual = Online.count reference
+      && bits (Online.mean actual) = bits (Online.mean reference)
+      && bits (Online.variance actual) = bits (Online.variance reference)
+      && bits (Online.min_value actual) = bits (Online.min_value reference)
+      && bits (Online.max_value actual) = bits (Online.max_value reference))
+
 let test_exception_propagates () =
   List.iter
     (fun jobs ->
@@ -146,6 +201,7 @@ let suite =
     Alcotest.test_case "map_indexed jobs-invariant" `Quick test_map_indexed;
     Alcotest.test_case "reduce_replicas jobs-invariant" `Quick test_reduce_replicas;
     Alcotest.test_case "online_replicas jobs-invariant" `Quick test_online_replicas;
+    QCheck_alcotest.to_alcotest test_online_random_partitions;
     Alcotest.test_case "kernel exceptions propagate" `Quick test_exception_propagates;
     Alcotest.test_case "argument validation" `Quick test_argument_validation;
   ]

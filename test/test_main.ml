@@ -14,5 +14,6 @@ let () =
       ("applications", Test_applications.suite);
       ("async", Test_async.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);
     ]
