@@ -5,7 +5,9 @@
    computational kernel behind each table/figure with Bechamel, one
    Test.make per experiment.  Part 3 measures the multicore replication
    engine (replicas/sec vs --jobs, written to BENCH_parallel.json) and the
-   incremental stability-detection fix.
+   incremental stability-detection fix.  Part 4 measures the
+   implicit-backend / flat-config matching core against a faithful replica
+   of the pre-rewrite representation (BENCH_core.json).
 
    Environment knobs:
      BENCH_SCALE=0.2     shrink the regeneration workloads (default 1.0)
@@ -15,7 +17,10 @@
      BENCH_OUT=path      where to write the parallel-scaling run
                          manifest (default BENCH_parallel.json — the
                          checked-in baseline the bench-regression CI job
-                         compares against). *)
+                         compares against)
+     BENCH_CORE_OUT=path where to write the matching-core run manifest
+                         (default BENCH_core.json — also a checked-in
+                         baseline). *)
 
 open Bechamel
 
@@ -42,7 +47,7 @@ let regenerate () =
     | Some s -> ( try max 1 (int_of_string s) with _ -> Exec.default_jobs ())
     | None -> Exec.default_jobs ()
   in
-  let ctx = { E.seed = 42; scale; csv_dir = None; jobs; manifest_dir = None } in
+  let ctx = { E.seed = 42; scale; csv_dir = None; jobs; manifest_dir = None; n_override = None } in
   Printf.printf "Regenerating all tables and figures (scale %g, jobs %d)\n%!" scale jobs;
   List.iter
     (fun (_, _, f) ->
@@ -417,8 +422,353 @@ let bench_stability_detection () =
     ((!t_naive -. !t_base) /. (!t_inc -. !t_base))
     (!t_naive -. !t_base) (!t_inc -. !t_base)
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: implicit-backend / flat-config matching core                *)
+
+(* Faithful replica of the pre-rewrite matching core: materialized
+   adjacency rows, [int list] mate storage with a cached worst rank,
+   List.length degrees, and the same scan/early-stop structure as
+   [Blocking].  The ≥5x claim in BENCH_core.json is measured against
+   this real old representation, not a straw man. *)
+module Legacy = struct
+  type config = {
+    slots : int array;
+    adj : int array array;
+    mates : int list array;
+    worst : int array;  (* cached last element of mates.(p); -1 when unmated *)
+    mutable edges : int;
+  }
+
+  let empty ~adj ~slots =
+    let n = Array.length adj in
+    { slots; adj; mates = Array.make n []; worst = Array.make n (-1); edges = 0 }
+
+  let degree c p = List.length c.mates.(p)
+  let free_slots c p = c.slots.(p) - degree c p
+  let worst_mate c p = let w = c.worst.(p) in if w < 0 then None else Some w
+
+  let rec mem_sorted q = function
+    | [] -> false
+    | x :: rest -> x = q || (x < q && mem_sorted q rest)
+
+  let mated c p q = q <= c.worst.(p) && mem_sorted q c.mates.(p)
+
+  let insert_sorted q l =
+    let rec go = function
+      | [] -> [ q ]
+      | x :: rest as all -> if q < x then q :: all else x :: go rest
+    in
+    go l
+
+  let rec last_or_none = function [] -> -1 | [ x ] -> x | _ :: rest -> last_or_none rest
+
+  (* The pre-rewrite [Instance.accepts]: binary search over the
+     materialized row. *)
+  let accepts c p q =
+    let row = c.adj.(p) in
+    let lo = ref 0 and hi = ref (Array.length row - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let x = row.(mid) in
+      if x = q then found := true else if x < q then lo := mid + 1 else hi := mid - 1
+    done;
+    !found
+
+  (* Validation checks included: the pre-rewrite [Config.connect] paid
+     them on every rewire, so the replica must too. *)
+  let connect c p q =
+    if p = q then invalid_arg "Legacy.connect: self-collaboration";
+    if not (accepts c p q) then invalid_arg "Legacy.connect: pair not in the acceptance graph";
+    if mated c p q then invalid_arg "Legacy.connect: already mates";
+    if free_slots c p <= 0 || free_slots c q <= 0 then invalid_arg "Legacy.connect: no free slot";
+    c.mates.(p) <- insert_sorted q c.mates.(p);
+    c.mates.(q) <- insert_sorted p c.mates.(q);
+    if q > c.worst.(p) then c.worst.(p) <- q;
+    if p > c.worst.(q) then c.worst.(q) <- p;
+    c.edges <- c.edges + 1
+
+  let disconnect c p q =
+    c.mates.(p) <- List.filter (fun x -> x <> q) c.mates.(p);
+    c.mates.(q) <- List.filter (fun x -> x <> p) c.mates.(q);
+    if c.worst.(p) = q then c.worst.(p) <- last_or_none c.mates.(p);
+    if c.worst.(q) = p then c.worst.(q) <- last_or_none c.mates.(q);
+    c.edges <- c.edges - 1
+
+  let drop_worst c p =
+    match worst_mate c p with None -> () | Some q -> disconnect c p q
+
+  let would_accept c p q =
+    if free_slots c p > 0 then c.slots.(p) > 0
+    else match worst_mate c p with None -> false | Some w -> q < w
+
+  let best_blocking_mate c p =
+    if c.slots.(p) = 0 then None
+    else begin
+      let row = c.adj.(p) in
+      let len = Array.length row in
+      let rec scan i =
+        if i >= len then None
+        else begin
+          let q = row.(i) in
+          if not (would_accept c p q) then None
+          else if (not (mated c p q)) && would_accept c q p then Some q
+          else scan (i + 1)
+        end
+      in
+      scan 0
+    end
+
+  (* Same scan, counting probes — run untimed so the instrumentation
+     does not pollute the legacy rate. *)
+  let probe_count c p =
+    if c.slots.(p) = 0 then 0
+    else begin
+      let row = c.adj.(p) in
+      let len = Array.length row in
+      let rec scan i acc =
+        if i >= len then acc
+        else begin
+          let q = row.(i) in
+          let acc = acc + 1 in
+          if not (would_accept c p q) then acc
+          else if (not (mated c p q)) && would_accept c q p then acc
+          else scan (i + 1) acc
+        end
+      in
+      scan 0 0
+    end
+
+  let step rng c n =
+    let p = Rng.int rng n in
+    match best_blocking_mate c p with
+    | None -> false
+    | Some q ->
+        if free_slots c p <= 0 then drop_worst c p;
+        if free_slots c q <= 0 then drop_worst c q;
+        connect c p q;
+        true
+end
+
+(* Order-sensitive hash of the collaboration set (pairs p<q in ascending
+   order) — the determinism checksum pinned by the bench-regression job.
+   Implementation-independent: both representations iterate pairs in the
+   same order. *)
+let fnv_pairs iter =
+  let h = ref 0x811c9dc5 in
+  iter (fun p q -> h := ((!h * 16777619) lxor ((p lsl 20) lxor q)) land ((1 lsl 50) - 1));
+  !h
+
+let bench_core () =
+  print_endline "\n================ Implicit-backend / flat-config core ================";
+  let module Obs = Stratify_obs in
+  let n = 10_000 and b0 = 6 in
+  let b = Array.make n b0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* New core: implicit complete acceptance graph, flat-array config. *)
+  let inst = Instance.complete ~n ~b () in
+  let stable = Greedy.stable_config inst in
+  (* Legacy core: materialized n×(n-1) rows (what Gen.complete +
+     Instance.build produced), list-based config built to the identical
+     stable state. *)
+  let legacy_adj = Array.init n (fun p -> Array.init (n - 1) (fun i -> if i < p then i else i + 1)) in
+  let legacy_stable = Legacy.empty ~adj:legacy_adj ~slots:b in
+  Config.iter_pairs (fun p q -> Legacy.connect legacy_stable p q) stable;
+  let cs_stable = fnv_pairs (fun f -> Config.iter_pairs f stable) in
+  let cs_legacy =
+    fnv_pairs (fun f ->
+        Array.iteri (fun p l -> List.iter (fun q -> if p < q then f p q) l) legacy_stable.Legacy.mates)
+  in
+  if cs_stable <> cs_legacy then failwith "bench.core: stable-config checksum mismatch";
+
+  (* (a) Stability sweep: one best_blocking_mate call per peer on the
+     stable configuration — the probe loop that dominates the dynamics
+     near convergence (Figs 1-3).  The probe total is deterministic and
+     identical for both implementations by construction. *)
+  let probes_per_sweep = ref 0 in
+  for p = 0 to n - 1 do
+    probes_per_sweep := !probes_per_sweep + Legacy.probe_count legacy_stable p
+  done;
+  let probes_per_sweep = !probes_per_sweep in
+  let blocked_legacy, dt_sweep_legacy =
+    time (fun () ->
+        let hits = ref 0 in
+        for p = 0 to n - 1 do
+          match Legacy.best_blocking_mate legacy_stable p with
+          | Some _ -> incr hits
+          | None -> ()
+        done;
+        !hits)
+  in
+  let core_reps = 3 in
+  let blocked_core, dt_sweep_core =
+    time (fun () ->
+        let hits = ref 0 in
+        for _ = 1 to core_reps do
+          for p = 0 to n - 1 do
+            match Blocking.best_blocking_mate stable p with
+            | Some _ -> incr hits
+            | None -> ()
+          done
+        done;
+        !hits)
+  in
+  if blocked_legacy <> 0 || blocked_core <> 0 then
+    failwith "bench.core: stable configuration has blocking pairs";
+  let rate_sweep_legacy = float_of_int probes_per_sweep /. dt_sweep_legacy in
+  let rate_sweep_core = float_of_int (core_reps * probes_per_sweep) /. dt_sweep_core in
+  Printf.printf "  probe sweep (n=%d, b0=%d, %d probes):\n" n b0 probes_per_sweep;
+  Printf.printf "    legacy list core:    %10.2f Mprobes/s\n" (rate_sweep_legacy /. 1e6);
+  Printf.printf "    flat/implicit core:  %10.2f Mprobes/s  (%.1fx)\n%!"
+    (rate_sweep_core /. 1e6) (rate_sweep_core /. rate_sweep_legacy);
+
+  (* (b) Best-mate dynamics at stability: the Sim.step loop of Figs 1-3
+     in the regime that dominates wall-clock (every step scans, nothing
+     rewires).  Identical RNG streams, so both implementations probe the
+     same peers. *)
+  let t_steps = 2_000 in
+  let active_legacy, dt_dyn_legacy =
+    time (fun () ->
+        let rng = Rng.create 42 in
+        let active = ref 0 in
+        for _ = 1 to t_steps do
+          if Legacy.step rng legacy_stable n then incr active
+        done;
+        !active)
+  in
+  let core_step rng c =
+    let p = Rng.int rng n in
+    match Blocking.best_blocking_mate c p with
+    | None -> false
+    | Some q ->
+        if Config.free_slots c p <= 0 then ignore (Config.drop_worst c p);
+        if Config.free_slots c q <= 0 then ignore (Config.drop_worst c q);
+        Config.connect c p q;
+        true
+  in
+  let active_core, dt_dyn_core =
+    time (fun () ->
+        let rng = Rng.create 42 in
+        let active = ref 0 in
+        for _ = 1 to t_steps do
+          if core_step rng stable then incr active
+        done;
+        !active)
+  in
+  if active_legacy <> active_core then failwith "bench.core: dynamics diverged";
+  let cs_dyn = fnv_pairs (fun f -> Config.iter_pairs f stable) in
+  if cs_dyn <> cs_stable then failwith "bench.core: stable dynamics mutated the configuration";
+  let rate_dyn_legacy = float_of_int t_steps /. dt_dyn_legacy in
+  let rate_dyn_core = float_of_int t_steps /. dt_dyn_core in
+  Printf.printf "  best-mate dynamics at stability (%d steps):\n" t_steps;
+  Printf.printf "    legacy list core:    %10.0f steps/s\n" rate_dyn_legacy;
+  Printf.printf "    flat/implicit core:  %10.0f steps/s  (%.1fx)\n%!" rate_dyn_core
+    (rate_dyn_core /. rate_dyn_legacy);
+
+  (* (c) Fill dynamics from the empty configuration: exercises the
+     connect/disconnect shift path, same RNG streams, checksummed. *)
+  let fill_steps = 4 * n in
+  let cs_fill_legacy, dt_fill_legacy =
+    time (fun () ->
+        let rng = Rng.create 7 in
+        let c = Legacy.empty ~adj:legacy_adj ~slots:b in
+        for _ = 1 to fill_steps do
+          ignore (Legacy.step rng c n)
+        done;
+        fnv_pairs (fun f ->
+            Array.iteri
+              (fun p l -> List.iter (fun q -> if p < q then f p q) l)
+              c.Legacy.mates))
+  in
+  let cs_fill_core, dt_fill_core =
+    time (fun () ->
+        let rng = Rng.create 7 in
+        let c = Config.empty inst in
+        for _ = 1 to fill_steps do
+          ignore (core_step rng c)
+        done;
+        fnv_pairs (fun f -> Config.iter_pairs f c))
+  in
+  if cs_fill_legacy <> cs_fill_core then failwith "bench.core: fill dynamics diverged";
+  let rate_fill_legacy = float_of_int fill_steps /. dt_fill_legacy in
+  let rate_fill_core = float_of_int fill_steps /. dt_fill_core in
+  Printf.printf "  fill dynamics from empty (%d steps):\n" fill_steps;
+  Printf.printf "    legacy list core:    %10.0f steps/s\n" rate_fill_legacy;
+  Printf.printf "    flat/implicit core:  %10.0f steps/s  (%.1fx)\n%!" rate_fill_core
+    (rate_fill_core /. rate_fill_legacy);
+
+  (* (d) Memory demonstration: the fig4/table1 kernel at n=10⁵ on the
+     implicit backend.  A dense complete acceptance graph would need
+     n(n-1) ints ≈ 80 GB; the implicit pipeline's live heap is O(n·b̄). *)
+  let n5 = 100_000 in
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let (edges5, clusters5, live5), dt_1e5 =
+    time (fun () ->
+        let inst5 = Instance.complete ~n:n5 ~b:(Array.make n5 b0) () in
+        let cfg5 = Greedy.stable_config inst5 in
+        let adj5 = Config.to_adjacency cfg5 in
+        let analysis = Cluster.analyze adj5 in
+        Gc.compact ();
+        let live = (Gc.stat ()).Gc.live_words in
+        (Config.edge_count cfg5, analysis.Cluster.count, live))
+  in
+  let live_mb = float_of_int ((live5 - live0) * 8) /. 1e6 in
+  let dense_mb = float_of_int n5 *. float_of_int (n5 - 1) *. 8. /. 1e6 in
+  Printf.printf "  complete-graph pipeline at n=%d (b0=%d): %.2f s\n" n5 b0 dt_1e5;
+  Printf.printf "    %d edges, %d clusters\n" edges5 clusters5;
+  Printf.printf "    live heap for the pipeline: %.1f MB (dense adjacency would be %.0f MB)\n%!"
+    live_mb dense_mb;
+
+  (* Publish as a run manifest: "checksum.*" counters are pinned exactly
+     by the bench-regression job; "rate/*" metrics fail CI when more
+     than --max-slowdown slower than the committed baseline. *)
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  Obs.Counter.add (Obs.Counter.make "checksum.core_stable_config") cs_stable;
+  Obs.Counter.add (Obs.Counter.make "checksum.core_sweep_probes") probes_per_sweep;
+  Obs.Counter.add (Obs.Counter.make "checksum.core_dyn_stable_active") active_core;
+  Obs.Counter.add (Obs.Counter.make "checksum.core_fill_config") cs_fill_core;
+  Obs.Counter.add (Obs.Counter.make "checksum.core_complete_1e5_edges") edges5;
+  Obs.Counter.add (Obs.Counter.make "checksum.core_complete_1e5_clusters") clusters5;
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_core" ~seed:42 ~scale:1.0 ~jobs:1
+      ~metrics:
+        [
+          ("n", float_of_int n);
+          ("b0", float_of_int b0);
+          ("rate/sweep_probes_legacy", rate_sweep_legacy);
+          ("rate/sweep_probes_core", rate_sweep_core);
+          ("rate/dyn_stable_steps_legacy", rate_dyn_legacy);
+          ("rate/dyn_stable_steps_core", rate_dyn_core);
+          ("rate/fill_steps_legacy", rate_fill_legacy);
+          ("rate/fill_steps_core", rate_fill_core);
+          ("speedup/sweep", rate_sweep_core /. rate_sweep_legacy);
+          ("speedup/dyn_stable", rate_dyn_core /. rate_dyn_legacy);
+          ("speedup/fill", rate_fill_core /. rate_fill_legacy);
+          ("mem/complete_1e5_live_mb", live_mb);
+          ("mem/complete_1e5_dense_equiv_mb", dense_mb);
+        ]
+      ()
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_CORE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_core.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
+
 let () =
   if Sys.getenv_opt "BENCH_SKIP_REGEN" = None then regenerate ();
   run_benchmarks ();
   bench_parallel_scaling ();
+  bench_core ();
   bench_stability_detection ()

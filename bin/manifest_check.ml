@@ -8,9 +8,9 @@
 
    `bench` enforces the perf/correctness contract: every "checksum"
    counter of the baseline must match the candidate exactly, and every
-   "replicas_per_sec/<jobs>" metric may not be more than --max-slowdown
-   times slower (faster is always fine — baselines only ratchet by being
-   regenerated and committed).
+   throughput metric — "replicas_per_sec/<jobs>" or any "rate/..." —
+   may not be more than --max-slowdown times slower (faster is always
+   fine — baselines only ratchet by being regenerated and committed).
 
    `golden` enforces determinism end to end: the named counters (default:
    all counters recorded in the golden manifest) must match exactly, as
@@ -43,7 +43,8 @@ let check_bench ~max_slowdown baseline candidate =
   List.iter
     (fun (name, base_rate) ->
       let is_rate =
-        String.length name >= 16 && String.sub name 0 16 = "replicas_per_sec"
+        (String.length name >= 16 && String.sub name 0 16 = "replicas_per_sec")
+        || (String.length name >= 5 && String.sub name 0 5 = "rate/")
       in
       if is_rate then
         match M.metric candidate name with

@@ -34,6 +34,14 @@ let jobs_arg =
     & opt int (Stratify_exec.Exec.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
 
+let n_arg =
+  let doc =
+    "Override the population size of the complete-acceptance-graph experiments (fig4, table1, \
+     fig6), bypassing --scale for the population.  These experiments use the implicit complete \
+     backend, so e.g. --n 100000 needs O(n) memory, not O(n^2)."
+  in
+  Arg.(value & opt (some int) None & info [ "n"; "num-peers" ] ~docv:"N" ~doc)
+
 let manifest_arg =
   let doc =
     "Directory to write one JSON run manifest per experiment (created if missing): seed, scale, \
@@ -43,13 +51,16 @@ let manifest_arg =
   in
   Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"DIR" ~doc)
 
-let context seed scale csv_dir jobs manifest_dir =
+let context seed scale csv_dir jobs manifest_dir n_override =
   if scale <= 0. || scale > 1. then `Error (false, "scale must be in (0, 1]")
   else if jobs < 1 then `Error (false, "jobs must be >= 1")
-  else `Ok { E.seed; scale; csv_dir; jobs; manifest_dir }
+  else
+    match n_override with
+    | Some n when n < 1 -> `Error (false, "n must be >= 1")
+    | _ -> `Ok { E.seed; scale; csv_dir; jobs; manifest_dir; n_override }
 
-let run_experiment entry seed scale csv_dir jobs manifest_dir =
-  match context seed scale csv_dir jobs manifest_dir with
+let run_experiment entry seed scale csv_dir jobs manifest_dir n_override =
+  match context seed scale csv_dir jobs manifest_dir n_override with
   | `Error _ as e -> e
   | `Ok ctx ->
       E.run_named ctx entry;
@@ -59,19 +70,22 @@ let experiment_cmd ((name, description, _) as entry) =
   let doc = Printf.sprintf "Regenerate %s of the paper (%s)." name description in
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(ret (const (run_experiment entry) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg))
+    Term.(
+      ret
+        (const (run_experiment entry) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg
+       $ n_arg))
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
-  let run seed scale csv_dir jobs manifest_dir =
-    match context seed scale csv_dir jobs manifest_dir with
+  let run seed scale csv_dir jobs manifest_dir n_override =
+    match context seed scale csv_dir jobs manifest_dir n_override with
     | `Error _ as e -> e
     | `Ok ctx ->
         List.iter (E.run_named ctx) E.all;
         `Ok ()
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(ret (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg))
+    Term.(ret (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg $ n_arg))
 
 let list_cmd =
   let doc = "List available experiments." in

@@ -15,9 +15,11 @@ type context = {
   csv_dir : string option;
   jobs : int;
   manifest_dir : string option;
+  n_override : int option;
 }
 
-let default_context = { seed = 42; scale = 1.; csv_dir = None; jobs = 1; manifest_dir = None }
+let default_context =
+  { seed = 42; scale = 1.; csv_dir = None; jobs = 1; manifest_dir = None; n_override = None }
 
 let scaled ctx full = max 1 (int_of_float (Float.round (float_of_int full *. ctx.scale)))
 
@@ -127,11 +129,19 @@ let print_components adj =
   done
 
 let fig4 ctx =
-  ignore ctx;
   Output.section "Fig 4 - constant 2-matching on a complete graph: clusters of b0+1";
-  let n = 9 and b0 = 2 in
+  (* The acceptance graph is implicit ([Instance.complete] under
+     [Cluster.collaboration_graph]), so [--n 100000] runs in O(n·b0)
+     memory — no n×n adjacency exists at any point. *)
+  let n = match ctx.n_override with Some n -> n | None -> 9 in
+  let b0 = 2 in
   let adj = Cluster.collaboration_graph ~b:(Normal_b.constant ~n ~b0) in
-  print_components adj;
+  if n <= 64 then print_components adj
+  else begin
+    let analysis = Cluster.analyze adj in
+    Output.note "n=%d: %d clusters, mean size %.2f, largest %d" n analysis.Cluster.count
+      analysis.Cluster.mean_size analysis.Cluster.largest
+  end;
   Output.note "matches the predicted block structure: %b"
     (Cluster.matches_block_structure ~n ~b0 adj)
 
@@ -163,14 +173,22 @@ let table1 ctx =
   for b0 = 2 to 7 do
     let idx = b0 - 2 in
     (* Constant matching: measure on a block-aligned population. *)
-    let n_const = 2520 in
+    let n_const =
+      match ctx.n_override with
+      | None -> 2520
+      | Some n -> max (b0 + 1) (n - (n mod (b0 + 1)))
+    in
     let adj = Cluster.collaboration_graph ~b:(Normal_b.constant ~n:n_const ~b0) in
     let const_analysis = Cluster.analyze adj in
     let const_mmo = Mmo.of_adjacency adj in
     (* Normal budgets: population must dwarf the expected cluster size.
        Cluster sizes are heavy-tailed (a single giant merge dominates a
        mean), so replicate and report the median. *)
-    let n_normal = scaled ctx (max 10_000 (int_of_float (25. *. paper_normal_size.(idx)))) in
+    let n_normal =
+      match ctx.n_override with
+      | Some n -> n
+      | None -> scaled ctx (max 10_000 (int_of_float (25. *. paper_normal_size.(idx))))
+    in
     let replicates = if b0 <= 5 then 7 else if b0 = 6 then 3 else 2 in
     let runs =
       Exec.map_replicas ~jobs:ctx.jobs ~rng ~replicas:replicates (fun rng _ ->
@@ -210,7 +228,7 @@ let table1 ctx =
 let fig6 ctx =
   Output.section "Fig 6 - sigma phase transition at b-mean = 6";
   let rng = Rng.create ctx.seed in
-  let n = scaled ctx 40_000 in
+  let n = match ctx.n_override with Some n -> n | None -> scaled ctx 40_000 in
   let sigmas =
     Array.of_list
       (List.init 9 (fun i -> float_of_int i *. 0.05)
@@ -726,7 +744,7 @@ let gossip_experiment ctx =
   in
   (* Full-knowledge reference: stable matching when everybody knows
      everybody. *)
-  let full_inst = Instance.create ~graph:(Gen.complete n) ~b:(Array.make n 1) () in
+  let full_inst = Instance.complete ~n ~b:(Array.make n 1) () in
   let full_stable = Greedy.stable_config full_inst in
   List.iter
     (fun view_size ->

@@ -14,6 +14,7 @@ type context = {
   csv_dir : string option;
   jobs : int;
   manifest_dir : string option;
+  n_override : int option;
 }
 (** [jobs] is the worker-domain count handed to {!Stratify_exec.Exec} by
     the Monte-Carlo-heavy experiments (fig1, table1, fig6, fig9, scaling).
@@ -27,7 +28,13 @@ type context = {
     (steps / active initiatives / rewires / chunks) and chunk-latency
     histograms.  Counter totals are deterministic for a given seed and
     identical for every [jobs] value, which is what the golden-manifest
-    CI job pins. *)
+    CI job pins.
+
+    [n_override], when set, replaces the population size of the
+    complete-acceptance-graph experiments (fig4, table1, fig6) —
+    bypassing [scale] for the population (replicate counts still scale).
+    Because those experiments run on the implicit [Instance.complete]
+    backend, [--n 100000] holds O(n·b̄) memory, not O(n²). *)
 
 val default_context : context
 (** seed 42, scale 1.0, no CSV, [jobs = 1], no manifests. *)

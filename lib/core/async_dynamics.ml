@@ -85,9 +85,9 @@ let handle_propose t ~from_:p ~to_:q _engine =
   if wants t q p then send t (handle_accept t ~from_:q ~to_:p)
 
 let initiative t p =
-  let row = Instance.acceptable t.instance p in
-  if Array.length row > 0 then begin
-    let q = row.(Rng.int t.rng (Array.length row)) in
+  let len = Instance.degree t.instance p in
+  if len > 0 then begin
+    let q = Instance.acceptable_at t.instance p (Rng.int t.rng len) in
     (* Random strategy: propose if q looks attractive on local state. *)
     if wants t p q then send t (handle_propose t ~from_:p ~to_:q)
   end;

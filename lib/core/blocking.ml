@@ -1,9 +1,11 @@
 let would_accept c p q =
   if Config.free_slots c p > 0 then Instance.slots (Config.instance c) p > 0
-  else
-    match Config.worst_mate c p with
-    | None -> false (* b(p) = 0: no slot will ever open *)
-    | Some w -> q < w
+  else begin
+    (* [worst_rank] is -1 when unmated; a full unmated peer has b(p) = 0
+       and no slot will ever open. *)
+    let w = Config.worst_rank c p in
+    w >= 0 && q < w
+  end
 
 let is_blocking c p q =
   p <> q
@@ -12,31 +14,93 @@ let is_blocking c p q =
   && would_accept c p q
   && would_accept c q p
 
+(* [best_blocking_mate] is the dynamics' hot loop: near stability every
+   Sim/Async step scans O(n) candidates and finds nothing, so the probe
+   below runs hundreds of millions of times per experiment.  Rather than
+   paying half a dozen cross-module accessor calls per probe (this build
+   has no cross-module inlining), the kernels specialise per backend and
+   read the flat arrays directly:
+
+   - the scanning peer's acceptance threshold ([limit] — free slot, or
+     its worst mate's rank) is fixed for the whole scan and hoisted;
+   - rows and mate segments are both increasing, so the "already mates"
+     test is a moving cursor over [p]'s segment — O(b) for the whole
+     scan instead of O(b) per probe;
+   - [accepts_back] is [would_accept] inlined on the raw arrays.
+
+   The scan order, early stop and result are identical to the generic
+   expression [if not (would_accept c p q) then None else if not mated
+   && would_accept c q p then Some q else next] probed best-first —
+   [test_blocking] pins the equivalence on random instances.
+
+   [Array.unsafe_get] is in range by construction: every probed q lies
+   in [0, n) (backend invariant), the cursor stays ≤ deg.(p), and
+   deg.(q) ≤ off.(q+1) - off.(q) keeps each data index below
+   [Array.length data]. *)
 let best_blocking_mate c p =
   let inst = Config.instance c in
-  if Instance.slots inst p = 0 then None
+  let bs = Instance.raw_slots inst in
+  if bs.(p) = 0 then None
   else begin
-    let row = Instance.acceptable inst p in
-    let len = Array.length row in
-    (* The acceptance list is best-first; the first q that blocks is the
-       best blocking mate.  Once q is worse than p's worst mate and p is
-       full, no later q can block — stop early. *)
-    let rec scan i =
-      if i >= len then None
+    let off = Config.raw_off c in
+    let data = Config.raw_data c in
+    let deg = Config.raw_deg c in
+    let base_p = Array.unsafe_get off p in
+    let dp = Array.unsafe_get deg p in
+    let limit =
+      if dp < Array.unsafe_get bs p then max_int
+      else Array.unsafe_get data (base_p + dp - 1)
+    in
+    (* Would q accept p: a free slot, or p beats q's worst mate. *)
+    let[@inline] accepts_back q =
+      let dq = Array.unsafe_get deg q in
+      dq < Array.unsafe_get bs q
+      || (dq > 0 && p < Array.unsafe_get data (Array.unsafe_get off q + dq - 1))
+    in
+    (* Kernel for materialized rows: row.(lo..hi-1) is the acceptance
+       list of p, increasing, possibly still containing [skip] = p
+       itself (Complete_minus's [alive]).  [mi] is the mate cursor. *)
+    let rec scan_row row i hi skip mi =
+      if i >= hi then None
       else begin
-        let q = row.(i) in
-        if not (would_accept c p q) then None
-        else if (not (Config.mated c p q)) && would_accept c q p then Some q
-        else scan (i + 1)
+        let q = Array.unsafe_get row i in
+        if q = skip then scan_row row (i + 1) hi skip mi
+        else if q >= limit then None
+        else begin
+          let rec fwd mi =
+            if mi < dp && Array.unsafe_get data (base_p + mi) < q then fwd (mi + 1) else mi
+          in
+          let mi = fwd mi in
+          if mi < dp && Array.unsafe_get data (base_p + mi) = q then
+            scan_row row (i + 1) hi skip (mi + 1)
+          else if accepts_back q then Some q
+          else scan_row row (i + 1) hi skip mi
+        end
       end
     in
-    scan 0
+    match Instance.raw_backend inst with
+    | Instance.Raw_complete ->
+        (* The row is 0,1,2,… minus p — pure arithmetic.  q ascends one
+           by one, so the mate cursor only ever needs the equality
+           test. *)
+        let n = Instance.n inst in
+        let hi = if limit < n then limit else n in
+        let rec scan q mi =
+          if q >= hi then None
+          else if q = p then scan (q + 1) mi
+          else if mi < dp && Array.unsafe_get data (base_p + mi) = q then scan (q + 1) (mi + 1)
+          else if accepts_back q then Some q
+          else scan (q + 1) mi
+        in
+        scan 0 0
+    | Instance.Raw_dense { off = goff; data = gdata } -> scan_row gdata goff.(p) goff.(p + 1) (-1) 0
+    | Instance.Raw_complete_minus { alive; pos } ->
+        if pos.(p) < 0 then None else scan_row alive 0 (Array.length alive) p 0
   end
 
 let blocking_mate_from c p ~start =
   let inst = Config.instance c in
-  let row = Instance.acceptable inst p in
-  let len = Array.length row in
+  let len = Instance.degree inst p in
   if len = 0 then None
   else begin
     let start = ((start mod len) + len) mod len in
@@ -44,7 +108,7 @@ let blocking_mate_from c p ~start =
       if step >= len then None
       else begin
         let i = (start + step) mod len in
-        let q = row.(i) in
+        let q = Instance.acceptable_at inst p i in
         if is_blocking c p q then Some (q, (i + 1) mod len) else scan (step + 1)
       end
     in
@@ -55,9 +119,8 @@ let blocking_pairs c =
   let inst = Config.instance c in
   let out = ref [] in
   for p = Instance.n inst - 1 downto 0 do
-    Array.iter
-      (fun q -> if p < q && is_blocking c p q then out := (p, q) :: !out)
-      (Instance.acceptable inst p)
+    Instance.iter_acceptable inst p (fun q ->
+        if p < q && is_blocking c p q then out := (p, q) :: !out)
   done;
   !out
 
@@ -73,4 +136,4 @@ let first_blocking_pair c =
   in
   loop 0
 
-let is_stable c = first_blocking_pair c = None
+let is_stable c = match first_blocking_pair c with None -> true | Some _ -> false

@@ -1,8 +1,7 @@
 let acceptance_edges inst =
   let edges = ref [] in
   for p = Instance.n inst - 1 downto 0 do
-    let row = Instance.acceptable inst p in
-    Array.iter (fun q -> if p < q then edges := (p, q) :: !edges) row
+    Instance.iter_acceptable inst p (fun q -> if p < q then edges := (p, q) :: !edges)
   done;
   !edges
 

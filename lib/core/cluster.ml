@@ -7,7 +7,16 @@ type analysis = {
   count : int;
 }
 
-let collaboration_graph ~b = Greedy.stable_complete ~b
+(* Route through the implicit [Complete] backend: no n×n adjacency is
+   ever materialized, so the fig4/table1/fig6 pipeline runs at 10⁵ peers
+   in O(n·b̄) memory.  [Greedy.stable_config] dispatches to its
+   complete-graph fast path, which produces exactly the same matching as
+   the legacy [Greedy.stable_complete]. *)
+let collaboration_graph ~b =
+  let n = Array.length b in
+  Array.iter (fun k -> if k < 0 then invalid_arg "Cluster.collaboration_graph: negative budget") b;
+  let inst = Instance.complete ~n ~b () in
+  Config.to_adjacency (Greedy.stable_config inst)
 
 let analyze adj =
   let comps = Components.of_adjacency adj in

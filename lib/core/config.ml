@@ -1,42 +1,98 @@
+(* Mate storage is one flat [int array]: peer [p]'s mates live in
+   [data.(off.(p)) .. data.(off.(p) + deg.(p) - 1)], sorted increasingly
+   (= best-ranked first).  Each segment's capacity is
+   [min b(p) (acceptance degree of p)], so total storage is O(n·b̄) even
+   on a complete acceptance graph.  [connect]/[disconnect] are O(b)
+   in-place shifts — no list cells, no allocation on the dynamics' hot
+   path — and [degree]/[worst_mate]/[free_slots] are O(1) reads. *)
 type t = {
   instance : Instance.t;
-  mates : int list array;  (* each list increasing = best-ranked first *)
-  worst : int array;  (* cached last element of mates.(p); -1 when unmated *)
+  off : int array;  (* n+1 segment offsets into [data] *)
+  data : int array;
+  deg : int array;  (* current mate count per peer *)
   mutable edges : int;
 }
 
 let empty instance =
   let n = Instance.n instance in
-  { instance; mates = Array.make n []; worst = Array.make n (-1); edges = 0 }
+  let off = Array.make (n + 1) 0 in
+  for p = 0 to n - 1 do
+    off.(p + 1) <- off.(p) + min (Instance.slots instance p) (Instance.degree instance p)
+  done;
+  { instance; off; data = Array.make off.(n) (-1); deg = Array.make n 0; edges = 0 }
 
 let instance t = t.instance
-let degree t p = List.length t.mates.(p)
-let free_slots t p = Instance.slots t.instance p - degree t p
+let degree t p = t.deg.(p)
+let free_slots t p = Instance.slots t.instance p - t.deg.(p)
 let is_full t p = free_slots t p <= 0
-let mates t p = t.mates.(p)
-let best_mate t p = match t.mates.(p) with [] -> None | q :: _ -> Some q
+let mate_at t p i = t.data.(t.off.(p) + i)
 
-(* O(1): the worst mate is the largest rank label, cached in [worst].
+let mates t p =
+  let base = t.off.(p) in
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(base + i) :: acc) in
+  go (t.deg.(p) - 1) []
+
+let iter_mates t p f =
+  let base = t.off.(p) in
+  for i = 0 to t.deg.(p) - 1 do
+    f t.data.(base + i)
+  done
+
+let best_mate t p = if t.deg.(p) = 0 then None else Some t.data.(t.off.(p))
+
+(* O(1): segments are sorted, so the worst mate is the last entry.
    [Blocking.would_accept] calls this on every probe of the dynamics'
-   innermost loop, so it must not walk the list. *)
-let worst_mate t p = let w = t.worst.(p) in if w < 0 then None else Some w
+   innermost loop.  [worst_rank] is the allocation-free variant ([-1]
+   when unmated) that the hot path uses instead of the option. *)
+let worst_rank t p =
+  let d = t.deg.(p) in
+  if d = 0 then -1 else t.data.(t.off.(p) + d - 1)
 
-let rec mem_sorted q = function
-  | [] -> false
-  | x :: rest -> x = q || (x < q && mem_sorted q rest)
+let worst_mate t p = let w = worst_rank t p in if w < 0 then None else Some w
 
-(* Mate lists are increasing, so anything past the cached worst rank is
-   certainly absent — the common non-mate probe exits without scanning. *)
-let mated t p q = q <= t.worst.(p) && mem_sorted q t.mates.(p)
-
-let insert_sorted q l =
-  let rec go = function
-    | [] -> [ q ]
-    | x :: rest as all -> if q < x then q :: all else x :: go rest
+(* Segments are increasing and short (≤ b), so an early-exit scan over
+   the flat array beats anything fancier; all comparisons are immediate
+   int compares. *)
+let mated t p q =
+  let base = t.off.(p) and d = t.deg.(p) in
+  let rec go i =
+    i < d
+    &&
+    let x = t.data.(base + i) in
+    if x >= q then x = q else go (i + 1)
   in
-  go l
+  go 0
 
-let rec last_or_none = function [] -> -1 | [ x ] -> x | _ :: rest -> last_or_none rest
+(* Insert [q] into [p]'s sorted segment, shifting the tail right.  The
+   caller guarantees a free slot, so [base + d] is within capacity.
+   Scanning from the end makes ascending-order insertion (the greedy
+   builder's pattern) O(1). *)
+let insert t p q =
+  let base = t.off.(p) in
+  let d = t.deg.(p) in
+  let i = ref (base + d - 1) in
+  while !i >= base && t.data.(!i) > q do
+    t.data.(!i + 1) <- t.data.(!i);
+    decr i
+  done;
+  t.data.(!i + 1) <- q;
+  t.deg.(p) <- d + 1
+
+(* Remove [q] from [p]'s segment, shifting the tail left.  Returns
+   whether [q] was present. *)
+let remove t p q =
+  let base = t.off.(p) in
+  let d = t.deg.(p) in
+  let rec find i = if i >= d then -1 else if t.data.(base + i) = q then i else find (i + 1) in
+  let i = find 0 in
+  i >= 0
+  && begin
+       for j = base + i to base + d - 2 do
+         t.data.(j) <- t.data.(j + 1)
+       done;
+       t.deg.(p) <- d - 1;
+       true
+     end
 
 let connect t p q =
   if p = q then invalid_arg "Config.connect: self-collaboration";
@@ -45,62 +101,90 @@ let connect t p q =
   if mated t p q then invalid_arg "Config.connect: already mates";
   if free_slots t p <= 0 || free_slots t q <= 0 then
     invalid_arg "Config.connect: no free slot";
-  t.mates.(p) <- insert_sorted q t.mates.(p);
-  t.mates.(q) <- insert_sorted p t.mates.(q);
-  if q > t.worst.(p) then t.worst.(p) <- q;
-  if p > t.worst.(q) then t.worst.(q) <- p;
+  insert t p q;
+  insert t q p;
   t.edges <- t.edges + 1
 
 let disconnect t p q =
-  if not (mated t p q) then invalid_arg "Config.disconnect: not mates";
-  t.mates.(p) <- List.filter (fun x -> x <> q) t.mates.(p);
-  t.mates.(q) <- List.filter (fun x -> x <> p) t.mates.(q);
-  if t.worst.(p) = q then t.worst.(p) <- last_or_none t.mates.(p);
-  if t.worst.(q) = p then t.worst.(q) <- last_or_none t.mates.(q);
+  if not (remove t p q) then invalid_arg "Config.disconnect: not mates";
+  ignore (remove t q p);
   t.edges <- t.edges - 1
 
 let drop_worst t p =
-  match worst_mate t p with
-  | None -> None
-  | Some q ->
-      disconnect t p q;
-      Some q
+  let w = worst_rank t p in
+  if w < 0 then None
+  else begin
+    disconnect t p w;
+    Some w
+  end
 
 let edge_count t = t.edges
 
 let iter_pairs f t =
-  Array.iteri (fun p l -> List.iter (fun q -> if p < q then f p q) l) t.mates
+  let n = Array.length t.deg in
+  for p = 0 to n - 1 do
+    let base = t.off.(p) in
+    for i = 0 to t.deg.(p) - 1 do
+      let q = t.data.(base + i) in
+      if p < q then f p q
+    done
+  done
 
 let copy t =
   {
     instance = t.instance;
-    mates = Array.copy t.mates;
-    worst = Array.copy t.worst;
+    off = t.off;  (* immutable after [empty] — safe to share *)
+    data = Array.copy t.data;
+    deg = Array.copy t.deg;
     edges = t.edges;
   }
+
+(* Both configs come from the same instance (documented contract), so
+   their segment offsets coincide and per-peer comparison is a flat
+   int-array scan. *)
+let same_mates a b p =
+  let d = a.deg.(p) in
+  d = b.deg.(p)
+  &&
+  let base = a.off.(p) in
+  let rec go i = i >= d || (a.data.(base + i) = b.data.(base + i) && go (i + 1)) in
+  go 0
 
 let equal a b =
   a.edges = b.edges
   && begin
-       let n = Array.length a.mates in
-       let rec check p = p >= n || (a.mates.(p) = b.mates.(p) && check (p + 1)) in
+       let n = Array.length a.deg in
+       let rec check p = p >= n || (same_mates a b p && check (p + 1)) in
        check 0
      end
 
 let signature t =
-  let buf = Buffer.create (16 * t.edges) in
-  iter_pairs
-    (fun p q ->
-      Buffer.add_string buf (string_of_int p);
-      Buffer.add_char buf ':';
-      Buffer.add_string buf (string_of_int q);
-      Buffer.add_char buf ';')
-    t;
+  let buf = Buffer.create (max 16 (16 * t.edges)) in
+  let n = Array.length t.deg in
+  for p = 0 to n - 1 do
+    let base = t.off.(p) in
+    for i = 0 to t.deg.(p) - 1 do
+      let q = t.data.(base + i) in
+      if p < q then begin
+        Buffer.add_string buf (string_of_int p);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (string_of_int q);
+        Buffer.add_char buf ';'
+      end
+    done
+  done;
   Buffer.contents buf
 
-let to_adjacency t = Array.map Array.of_list t.mates
+let to_adjacency t =
+  Array.init (Array.length t.deg) (fun p ->
+      let base = t.off.(p) in
+      Array.init t.deg.(p) (fun i -> t.data.(base + i)))
 
 let of_pairs instance pairs =
   let t = empty instance in
   List.iter (fun (p, q) -> connect t p q) pairs;
   t
+
+let raw_off t = t.off
+let raw_data t = t.data
+let raw_deg t = t.deg

@@ -3,8 +3,11 @@
 
     A configuration is a subgraph of the acceptance graph in which every
     peer [p] has degree at most [b(p)].  The structure is mutable — the
-    initiative dynamics of §3 rewires it in place — and keeps each peer's
-    mate list sorted best-first so that worst-mate lookups are O(1). *)
+    initiative dynamics of §3 rewires it in place.  Mates are stored in
+    one flat [int array] of fixed-capacity sorted segments (capacity
+    [min b(p) (acceptance degree)], so O(n·b̄) total even on complete
+    acceptance graphs); [connect]/[disconnect] are zero-allocation O(b)
+    shifts and [degree]/[worst_mate]/[free_slots] are O(1). *)
 
 type t
 
@@ -14,7 +17,7 @@ val empty : Instance.t -> t
 val instance : t -> Instance.t
 
 val degree : t -> int -> int
-(** Current number of mates of a peer. *)
+(** Current number of mates of a peer.  O(1) — cached, not recomputed. *)
 
 val free_slots : t -> int -> int
 (** [b(p)] minus current degree. *)
@@ -22,18 +25,31 @@ val free_slots : t -> int -> int
 val is_full : t -> int -> bool
 
 val mates : t -> int -> int list
-(** Mates best-ranked first. *)
+(** Mates best-ranked first, as a fresh list.  Allocates — hot paths use
+    [mate_at]/[iter_mates] instead. *)
+
+val mate_at : t -> int -> int -> int
+(** [mate_at t p i] is [p]'s [i]-th best current mate
+    ([0 <= i < degree t p]).  O(1), no allocation. *)
+
+val iter_mates : t -> int -> (int -> unit) -> unit
+(** Apply a function to each mate of a peer, best-ranked first. *)
 
 val best_mate : t -> int -> int option
 
 val worst_mate : t -> int -> int option
-(** O(1): the worst mate is cached, not recomputed from the list — it is
-    probed by [Blocking.would_accept] on every initiative. *)
+(** O(1): segments are sorted, so the worst mate is the last entry — it
+    is probed by [Blocking.would_accept] on every initiative. *)
+
+val worst_rank : t -> int -> int
+(** Allocation-free [worst_mate]: the worst mate's rank label, or [-1]
+    when unmated.  The dynamics' innermost loop uses this to avoid
+    boxing an option per probe. *)
 
 val mated : t -> int -> int -> bool
-(** Whether two peers are currently mates.  O(1) rejection when [q] is
-    worse than [p]'s cached worst mate; otherwise an early-exit scan of
-    the (short, sorted) mate list. *)
+(** Whether two peers are currently mates — an early-exit scan of the
+    (short, sorted, flat) mate segment; all comparisons are immediate
+    int compares. *)
 
 val connect : t -> int -> int -> unit
 (** Add a collaboration.  Raises [Invalid_argument] if the pair is
@@ -57,6 +73,11 @@ val copy : t -> t
 val equal : t -> t -> bool
 (** Same collaboration set (instances assumed identical). *)
 
+val same_mates : t -> t -> int -> bool
+(** [same_mates a b p]: whether peer [p] has the identical mate set in
+    both configurations (instances assumed identical).  O(b), no
+    allocation — [Sim]'s convergence tracker calls it per rewired peer. *)
+
 val signature : t -> string
 (** Canonical string key of the collaboration set — used to detect
     configuration revisits (Theorem 1 asserts none happen). *)
@@ -66,3 +87,17 @@ val to_adjacency : t -> int array array
 
 val of_pairs : Instance.t -> (int * int) list -> t
 (** Build from explicit pairs; validates acceptability and budgets. *)
+
+(** {2 Low-level views}
+
+    Read-only views of the flat mate storage for fused hot-loop kernels
+    ([Blocking.best_blocking_mate]).  [raw_off] is immutable after
+    {!empty}; [raw_data]/[raw_deg] are the live arrays — callers must
+    never mutate them, and must re-read after any [connect]/[disconnect]. *)
+
+val raw_off : t -> int array
+(** Segment offsets: peer [p]'s mates live at indices
+    [raw_off t.(p) .. raw_off t.(p) + raw_deg t.(p) - 1] of [raw_data]. *)
+
+val raw_data : t -> int array
+val raw_deg : t -> int array

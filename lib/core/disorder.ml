@@ -1,17 +1,18 @@
 (* Sum over slot columns of |mate difference|, mates best-first, padding
    with the virtual worst mate [n] (0-based labels make [n] play the role
-   of the paper's [n+1]). *)
-let column_gap n b mates1 mates2 =
-  let rec go l1 l2 remaining acc =
-    if remaining = 0 then acc
-    else
-      match (l1, l2) with
-      | [], [] -> acc
-      | x :: r1, [] -> go r1 [] (remaining - 1) (acc + abs (x - n))
-      | [], y :: r2 -> go [] r2 (remaining - 1) (acc + abs (n - y))
-      | x :: r1, y :: r2 -> go r1 r2 (remaining - 1) (acc + abs (x - y))
-  in
-  go mates1 mates2 b 0
+   of the paper's [n+1]).  Columns where both sides are empty contribute
+   nothing, so the scan stops at the longer of the two mate sets.  Reads
+   mates by index — no per-peer list allocation on the sampling path. *)
+let column_gap n b c1 c2 p =
+  let d1 = Config.degree c1 p and d2 = Config.degree c2 p in
+  let cols = min b (max d1 d2) in
+  let acc = ref 0 in
+  for i = 0 to cols - 1 do
+    let x = if i < d1 then Config.mate_at c1 p i else n in
+    let y = if i < d2 then Config.mate_at c2 p i else n in
+    acc := !acc + abs (x - y)
+  done;
+  !acc
 
 let generic ~present c1 c2 =
   let inst = Config.instance c1 in
@@ -25,7 +26,7 @@ let generic ~present c1 c2 =
       incr n_present;
       let b = max (Instance.slots inst p) (Instance.slots (Config.instance c2) p) in
       b_present := !b_present + b;
-      total := !total + column_gap n_total b (Config.mates c1 p) (Config.mates c2 p)
+      total := !total + column_gap n_total b c1 c2 p
     end
   done;
   if !b_present = 0 then 0.

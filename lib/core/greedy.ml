@@ -1,18 +1,24 @@
-let stable_config inst =
+(* Algorithm 1 (§3): scan peers best-first; each peer claims the
+   best-ranked acceptable peers after it that still have capacity.  The
+   result is the unique stable configuration of an acyclic instance. *)
+
+(* Generic path: works on any backend through the O(1) indexed row
+   access.  [first_index_above] skips the row prefix of peers ranked
+   before [i], which the legacy code walked and discarded one by one. *)
+let stable_config_generic inst =
   let n = Instance.n inst in
   let config = Config.empty inst in
   let available = Array.init n (Instance.slots inst) in
   for i = 0 to n - 1 do
     if available.(i) > 0 then begin
-      let row = Instance.acceptable inst i in
-      let len = Array.length row in
+      let len = Instance.degree inst i in
       (* Acceptable peers better than i were processed earlier and either
          connected to i already (accounted in available) or spent their
          slots; only peers ranked after i can still be claimed. *)
-      let j = ref 0 in
+      let j = ref (Instance.first_index_above inst i ~rank:i) in
       while available.(i) > 0 && !j < len do
-        let q = row.(!j) in
-        if q > i && available.(q) > 0 then begin
+        let q = Instance.acceptable_at inst i !j in
+        if available.(q) > 0 then begin
           Config.connect config i q;
           available.(i) <- available.(i) - 1;
           available.(q) <- available.(q) - 1
@@ -23,6 +29,44 @@ let stable_config inst =
   done;
   config
 
+(* Complete-backend fast path: every pair is acceptable, so instead of
+   probing each q > i for capacity we jump between peers that still have
+   capacity with a lazily-compressed "next pointer" array (union-find
+   style).  O(n·b̄) total instead of O(n²) probes.  Connections are made
+   in exactly the order the generic scan would make them, so the
+   resulting configuration is identical. *)
+let stable_config_complete inst =
+  let n = Instance.n inst in
+  let config = Config.empty inst in
+  let available = Array.init n (Instance.slots inst) in
+  let next = Array.init (n + 1) (fun i -> i) in
+  let rec find_next i =
+    if i > n then n
+    else if i = n || available.(i) > 0 then i
+    else begin
+      let r = find_next next.(i + 1) in
+      next.(i) <- r;
+      r
+    end
+  in
+  for i = 0 to n - 1 do
+    let q = ref (find_next (i + 1)) in
+    while available.(i) > 0 && !q < n do
+      Config.connect config i !q;
+      available.(i) <- available.(i) - 1;
+      available.(!q) <- available.(!q) - 1;
+      q := find_next (!q + 1)
+    done
+  done;
+  config
+
+let stable_config inst =
+  match Instance.backend_kind inst with
+  | `Complete -> stable_config_complete inst
+  | `Dense | `Complete_minus -> stable_config_generic inst
+
+(* Standalone raw-array variant of the complete-graph case, kept as a
+   reference implementation for tests and benchmarks. *)
 let stable_complete ~b =
   let n = Array.length b in
   Array.iter (fun k -> if k < 0 then invalid_arg "Greedy.stable_complete: negative budget") b;
@@ -57,7 +101,7 @@ let stable_complete ~b =
   done;
   Array.init n (fun i ->
       let row = Array.sub mates.(i) 0 filled.(i) in
-      Array.sort compare row;
+      Array.sort Int.compare row;
       row)
 
 let stable_partners_array inst =

@@ -28,10 +28,11 @@ let find_mate config state strategy rng p =
           state.cursor.(p) <- next;
           Some q)
   | Random ->
-      let row = Instance.acceptable (Config.instance config) p in
-      if Array.length row = 0 then None
+      let inst = Config.instance config in
+      let len = Instance.degree inst p in
+      if len = 0 then None
       else begin
-        let q = row.(Rng.int rng (Array.length row)) in
+        let q = Instance.acceptable_at inst p (Rng.int rng len) in
         if Blocking.is_blocking config p q then Some q else None
       end
 

@@ -1,37 +1,211 @@
 module Undirected = Stratify_graph.Undirected
 
+(* Acceptance-graph storage.  [Dense] is a CSR-flattened explicit graph:
+   the acceptable peers of rank [p] are [data.(off.(p)) .. data.(off.(p+1)-1)],
+   increasing (= best-ranked first).  [Complete] stores nothing at all:
+   every pair of distinct peers is acceptable, and the i-th best acceptable
+   peer of [p] is [i] itself, shifted by one past [p].  [Complete_minus] is
+   a complete graph restricted to a surviving peer set [alive] (sorted by
+   rank); [pos.(p)] is [p]'s index in [alive], or [-1] if removed. *)
+type backend =
+  | Dense of { off : int array; data : int array }
+  | Complete
+  | Complete_minus of { alive : int array; pos : int array }
+
 type t = {
-  adj : int array array;  (* by rank label; each row increasing (= best first) *)
+  backend : backend;
   b : int array;  (* by rank label *)
   ranking : Ranking.t;
   slot_total : int;
+  n : int;
 }
+
+let n t = t.n
+let slots t p = t.b.(p)
+let slot_total t = t.slot_total
+let rank_to_id t r = Ranking.peer_at t.ranking r
+let id_to_rank t id = Ranking.rank t.ranking id
+
+let backend_kind t =
+  match t.backend with
+  | Dense _ -> `Dense
+  | Complete -> `Complete
+  | Complete_minus _ -> `Complete_minus
+
+type raw_backend =
+  | Raw_dense of { off : int array; data : int array }
+  | Raw_complete
+  | Raw_complete_minus of { alive : int array; pos : int array }
+
+let raw_backend t =
+  match t.backend with
+  | Dense { off; data } -> Raw_dense { off; data }
+  | Complete -> Raw_complete
+  | Complete_minus { alive; pos } -> Raw_complete_minus { alive; pos }
+
+let raw_slots t = t.b
+
+let degree t p =
+  match t.backend with
+  | Dense { off; _ } -> off.(p + 1) - off.(p)
+  | Complete -> t.n - 1
+  | Complete_minus { alive; pos } -> if pos.(p) < 0 then 0 else Array.length alive - 1
+
+let acceptable_at t p i =
+  match t.backend with
+  | Dense { off; data } -> data.(off.(p) + i)
+  | Complete -> if i < p then i else i + 1
+  | Complete_minus { alive; pos } ->
+      let k = pos.(p) in
+      alive.(if i < k then i else i + 1)
+
+let accepts t p q =
+  p <> q
+  && p >= 0 && p < t.n && q >= 0 && q < t.n
+  &&
+  match t.backend with
+  | Complete -> true
+  | Complete_minus { pos; _ } -> pos.(p) >= 0 && pos.(q) >= 0
+  | Dense { off; data } ->
+      let lo = ref off.(p) and hi = ref (off.(p + 1) - 1) in
+      let found = ref false in
+      while (not !found) && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = data.(mid) in
+        if x = q then found := true else if x < q then lo := mid + 1 else hi := mid - 1
+      done;
+      !found
+
+let iter_acceptable t p f =
+  match t.backend with
+  | Dense { off; data } ->
+      for i = off.(p) to off.(p + 1) - 1 do
+        f data.(i)
+      done
+  | Complete ->
+      for q = 0 to p - 1 do
+        f q
+      done;
+      for q = p + 1 to t.n - 1 do
+        f q
+      done
+  | Complete_minus { alive; pos } ->
+      if pos.(p) >= 0 then
+        Array.iter (fun q -> if q <> p then f q) alive
+
+let iter_acceptable_from t p ~start f =
+  let len = degree t p in
+  for i = start to len - 1 do
+    f (acceptable_at t p i)
+  done
+
+let fold_acceptable t p f init =
+  match t.backend with
+  | Dense { off; data } ->
+      let acc = ref init in
+      for i = off.(p) to off.(p + 1) - 1 do
+        acc := f !acc data.(i)
+      done;
+      !acc
+  | _ ->
+      let acc = ref init in
+      iter_acceptable t p (fun q -> acc := f !acc q);
+      !acc
+
+(* Smallest row index whose acceptable peer outranks [rank] (i.e. has a
+   strictly larger rank label), or [degree t p] if none does.  Rows are
+   increasing, so this is where a "only peers ranked after me" scan
+   starts — [Greedy.stable_config] uses it to skip the prefix that the
+   legacy code walked and discarded. *)
+let first_index_above t p ~rank =
+  match t.backend with
+  | Complete ->
+      (* Smallest acceptable value > rank is rank+1, skipping p itself;
+         its row index shifts down by one past p.  If it overflows the
+         universe, return the degree (n-1). *)
+      let v = rank + 1 in
+      let v = if v = p then v + 1 else v in
+      if v >= t.n then t.n - 1 else if v < p then v else v - 1
+  | Dense { off; data } ->
+      let base = off.(p) in
+      let lo = ref base and hi = ref off.(p + 1) in
+      (* invariant: data.(i) <= rank for i < lo; data.(i) > rank for i >= hi *)
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if data.(mid) <= rank then lo := mid + 1 else hi := mid
+      done;
+      !lo - base
+  | Complete_minus { alive; pos } ->
+      if pos.(p) < 0 then 0
+      else begin
+        let len = Array.length alive in
+        let lo = ref 0 and hi = ref len in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if alive.(mid) <= rank then lo := mid + 1 else hi := mid
+        done;
+        (* alive index -> row index: entries before [p]'s own position
+           shift down by one. *)
+        if !lo <= pos.(p) then !lo else !lo - 1
+      end
+
+let acceptable t p =
+  match t.backend with
+  | Dense { off; data } -> Array.sub data off.(p) (off.(p + 1) - off.(p))
+  | _ ->
+      let len = degree t p in
+      Array.init len (fun i -> acceptable_at t p i)
+
+let check_b ~n b =
+  if Array.length b <> n then invalid_arg "Instance: |b| must equal the number of peers";
+  Array.iter (fun k -> if k < 0 then invalid_arg "Instance: negative slot budget") b
+
+let finish ~backend ~ranking ~b ~n =
+  if Ranking.size ranking <> n then invalid_arg "Instance: ranking size mismatch";
+  let b_by_rank = Array.init n (fun r -> b.(Ranking.peer_at ranking r)) in
+  { backend; b = b_by_rank; ranking; slot_total = Array.fold_left ( + ) 0 b; n }
 
 let build ~ranking ~raw_adj ~b =
   let n = Array.length raw_adj in
-  if Array.length b <> n then invalid_arg "Instance: |b| must equal the number of peers";
-  Array.iter (fun k -> if k < 0 then invalid_arg "Instance: negative slot budget") b;
+  check_b ~n b;
   if Ranking.size ranking <> n then invalid_arg "Instance: ranking size mismatch";
-  (* Relabel peers by rank: row r of [adj] lists the ranks acceptable to the
-     peer of rank r, in increasing rank order. *)
-  let adj =
-    Array.init n (fun r ->
-        let id = Ranking.peer_at ranking r in
-        let row = Array.map (fun w -> Ranking.rank ranking w) raw_adj.(id) in
-        Array.sort compare row;
-        row)
-  in
-  let b_by_rank = Array.init n (fun r -> b.(Ranking.peer_at ranking r)) in
-  { adj; b = b_by_rank; ranking; slot_total = Array.fold_left ( + ) 0 b }
+  (* Relabel peers by rank: segment r of [data] lists the ranks acceptable
+     to the peer of rank r, in increasing rank order. *)
+  let off = Array.make (n + 1) 0 in
+  for r = 0 to n - 1 do
+    off.(r + 1) <- off.(r) + Array.length raw_adj.(Ranking.peer_at ranking r)
+  done;
+  let data = Array.make off.(n) 0 in
+  for r = 0 to n - 1 do
+    let row = raw_adj.(Ranking.peer_at ranking r) in
+    let base = off.(r) in
+    let len = Array.length row in
+    for i = 0 to len - 1 do
+      data.(base + i) <- Ranking.rank ranking row.(i)
+    done;
+    if len > 1 then begin
+      let seg = Array.sub data base len in
+      Array.sort Int.compare seg;
+      Array.blit seg 0 data base len
+    end
+  done;
+  finish ~backend:(Dense { off; data }) ~ranking ~b ~n
 
 let create ?ranking ~graph ~b () =
   let n = Undirected.vertex_count graph in
-  let ranking = match ranking with Some r -> r | None -> Ranking.identity n in
-  build ~ranking ~raw_adj:(Undirected.adjacency_arrays graph) ~b
+  check_b ~n b;
+  match ranking with
+  | Some r -> build ~ranking:r ~raw_adj:(Undirected.adjacency_arrays graph) ~b
+  | None ->
+      (* Identity ranking: the CSR snapshot is already rank-labelled and
+         row-sorted — freeze it directly, no per-row arrays. *)
+      let off, data = Undirected.adjacency_csr graph in
+      finish ~backend:(Dense { off; data }) ~ranking:(Ranking.identity n) ~b ~n
 
 let of_adjacency ?ranking ~adj ~b () =
   let n = Array.length adj in
   let ranking = match ranking with Some r -> r | None -> Ranking.identity n in
+  check_b ~n b;
   Array.iteri
     (fun u row ->
       Array.iter
@@ -42,22 +216,34 @@ let of_adjacency ?ranking ~adj ~b () =
     adj;
   build ~ranking ~raw_adj:adj ~b
 
-let n t = Array.length t.adj
-let slots t p = t.b.(p)
-let slot_total t = t.slot_total
-let acceptable t p = t.adj.(p)
-let degree t p = Array.length t.adj.(p)
+let complete ?ranking ~n ~b () =
+  if n < 0 then invalid_arg "Instance.complete: negative size";
+  check_b ~n b;
+  let ranking = match ranking with Some r -> r | None -> Ranking.identity n in
+  finish ~backend:Complete ~ranking ~b ~n
 
-let accepts t p q =
-  let row = t.adj.(p) in
-  let lo = ref 0 and hi = ref (Array.length row - 1) in
-  let found = ref false in
-  while (not !found) && !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let x = row.(mid) in
-    if x = q then found := true else if x < q then lo := mid + 1 else hi := mid - 1
+let complete_minus ?ranking ~n ~b ~removed () =
+  if n < 0 then invalid_arg "Instance.complete_minus: negative size";
+  check_b ~n b;
+  let ranking = match ranking with Some r -> r | None -> Ranking.identity n in
+  let gone = Array.make n false in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= n then invalid_arg "Instance.complete_minus: peer out of range";
+      gone.(Ranking.rank ranking id) <- true)
+    removed;
+  let survivors = ref 0 in
+  for r = 0 to n - 1 do
+    if not gone.(r) then incr survivors
   done;
-  !found
-
-let rank_to_id t r = Ranking.peer_at t.ranking r
-let id_to_rank t id = Ranking.rank t.ranking id
+  let alive = Array.make !survivors 0 in
+  let pos = Array.make n (-1) in
+  let k = ref 0 in
+  for r = 0 to n - 1 do
+    if not gone.(r) then begin
+      alive.(!k) <- r;
+      pos.(r) <- !k;
+      incr k
+    end
+  done;
+  finish ~backend:(Complete_minus { alive; pos }) ~ranking ~b ~n

@@ -4,7 +4,20 @@
     (who may collaborate with whom — symmetric), a {e global ranking}
     [S(p)], and per-peer {e slot budgets} [b(p)].  Internally, peers are
     relabelled by rank so that peer [0] is the best; acceptance lists are
-    stored best-first, which every algorithm in this library exploits. *)
+    stored best-first, which every algorithm in this library exploits.
+
+    The acceptance graph is held by a pluggable {e backend}:
+
+    - [`Dense] — explicit CSR storage (one flat [int array] plus offsets),
+      built from an arbitrary graph; O(Σ degree) memory.
+    - [`Complete] — fully implicit: [accepts p q ⇔ p ≠ q].  O(1) memory,
+      so the paper's §4 experiments (which all run on complete acceptance
+      graphs) scale to 10⁵⁺ peers without an n×n adjacency.
+    - [`Complete_minus] — complete minus a removal set, for
+      connectivity-repair runs; O(n) memory.
+
+    Algorithms should use [degree]/[acceptable_at] or the iteration
+    functions below rather than [acceptable], which materializes a row. *)
 
 type t
 
@@ -14,7 +27,7 @@ val create :
   b:int array ->
   unit ->
   t
-(** Build an instance.  [b.(p)] is peer [p]'s slot budget (must be
+(** Build a [`Dense] instance.  [b.(p)] is peer [p]'s slot budget (must be
     non-negative).  [ranking] defaults to the identity ranking (peer id =
     rank), the convention of all the paper's experiments.  Vertices of
     [graph] are peer ids. *)
@@ -22,6 +35,20 @@ val create :
 val of_adjacency : ?ranking:Ranking.t -> adj:int array array -> b:int array -> unit -> t
 (** Same, from frozen adjacency arrays (must be symmetric; not checked
     beyond bounds). *)
+
+val complete : ?ranking:Ranking.t -> n:int -> b:int array -> unit -> t
+(** The complete acceptance graph on [n] peers, fully implicit: no
+    adjacency is materialized, ever.  [accepts p q ⇔ p ≠ q]. *)
+
+val complete_minus :
+  ?ranking:Ranking.t -> n:int -> b:int array -> removed:int list -> unit -> t
+(** The complete acceptance graph on [n] peers minus every peer in
+    [removed] (given as peer ids): removed peers accept nobody and nobody
+    accepts them.  O(n) memory. *)
+
+val backend_kind : t -> [ `Dense | `Complete | `Complete_minus ]
+(** Which backend holds the acceptance graph — lets algorithms pick
+    specialised fast paths ([Greedy.stable_config] does). *)
 
 val n : t -> int
 (** Number of peers. *)
@@ -32,15 +59,37 @@ val slots : t -> int -> int
 val slot_total : t -> int
 (** [B = Σ b(p)] — the bound of Theorem 1 is [B/2] initiatives. *)
 
+val degree : t -> int -> int
+(** Acceptance-list length.  O(1) on every backend. *)
+
+val acceptable_at : t -> int -> int -> int
+(** [acceptable_at t p i] is the [i]-th best acceptable peer of [p]
+    ([0 <= i < degree t p]).  O(1) on every backend — this plus [degree]
+    replaces row materialization in all hot paths. *)
+
 val acceptable : t -> int -> int array
-(** Acceptance list of a peer, best-ranked first.  Peers are rank labels:
-    [0] is the globally best peer. *)
+(** Acceptance list of a peer, best-ranked first, as a {e fresh} array.
+    Peers are rank labels: [0] is the globally best peer.  Allocates
+    O(degree) — use [acceptable_at]/[iter_acceptable] in hot paths. *)
 
 val accepts : t -> int -> int -> bool
-(** Symmetric acceptability test (binary search, O(log degree)). *)
+(** Symmetric acceptability test.  O(log degree) on [`Dense], O(1) on the
+    implicit backends. *)
 
-val degree : t -> int -> int
-(** Acceptance-list length. *)
+val iter_acceptable : t -> int -> (int -> unit) -> unit
+(** Apply a function to each acceptable peer, best-ranked first. *)
+
+val iter_acceptable_from : t -> int -> start:int -> (int -> unit) -> unit
+(** Same, starting at row index [start] ([start >= 0]; indices past the
+    row length iterate nothing). *)
+
+val fold_acceptable : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over acceptable peers, best-ranked first. *)
+
+val first_index_above : t -> int -> rank:int -> int
+(** Smallest row index [i] of peer [p] with
+    [acceptable_at t p i > rank], or [degree t p] if none — i.e. where a
+    "peers ranked after [rank]" scan starts.  O(log degree). *)
 
 val rank_to_id : t -> int -> int
 (** Translate a rank label back to the original peer id of the input
@@ -48,3 +97,27 @@ val rank_to_id : t -> int -> int
 
 val id_to_rank : t -> int -> int
 (** Translate an original peer id to its rank label. *)
+
+(** {2 Low-level views}
+
+    Read-only views of the backend storage for fused hot-loop kernels
+    (the [Blocking] scan runs a few hundred million probes per
+    experiment, and without cross-module inlining every accessor call
+    costs more than the probe itself).  The returned arrays are the
+    live internals: callers must never mutate them. *)
+
+type raw_backend =
+  | Raw_dense of { off : int array; data : int array }
+      (** CSR rows: peer [p]'s acceptance list is
+          [data.(off.(p)) .. data.(off.(p+1)-1)], increasing. *)
+  | Raw_complete  (** [accepts p q ⇔ p ≠ q]; nothing stored. *)
+  | Raw_complete_minus of { alive : int array; pos : int array }
+      (** Surviving ranks, increasing; [pos.(p)] is [p]'s index in
+          [alive], [-1] if removed. *)
+
+val raw_backend : t -> raw_backend
+(** Backend storage view.  O(1), allocates one small block. *)
+
+val raw_slots : t -> int array
+(** Slot budgets indexed by rank label — the live array, do not
+    mutate. *)

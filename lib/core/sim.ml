@@ -79,20 +79,20 @@ let disorder_trajectory t ~stable ~units ~samples_per_unit =
 module Divergence = struct
   type tracker = {
     target : Config.t;
-    target_mates : int list array;
     matched : bool array;
     mutable mismatches : int;
   }
 
   let create config target =
     let n = Instance.n (Config.instance target) in
-    let target_mates = Array.init n (Config.mates target) in
-    let matched = Array.init n (fun p -> Config.mates config p = target_mates.(p)) in
+    let matched = Array.init n (fun p -> Config.same_mates config target p) in
     let mismatches = Array.fold_left (fun acc m -> if m then acc else acc + 1) 0 matched in
-    { target; target_mates; matched; mismatches }
+    { target; matched; mismatches }
 
   let touch tr config p =
-    let now = Config.mates config p = tr.target_mates.(p) in
+    (* [same_mates] compares the flat mate segments directly — no list
+       materialization or polymorphic compare per rewired peer. *)
+    let now = Config.same_mates config tr.target p in
     if now <> tr.matched.(p) then begin
       tr.matched.(p) <- now;
       tr.mismatches <- tr.mismatches + (if now then -1 else 1)

@@ -27,7 +27,8 @@ let of_lists raw =
   build prefs
 
 let of_global_ranking inst =
-  let prefs = Array.init (Instance.n inst) (fun p -> Array.copy (Instance.acceptable inst p)) in
+  (* [Instance.acceptable] returns a fresh array — safe to own. *)
+  let prefs = Array.init (Instance.n inst) (fun p -> Instance.acceptable inst p) in
   build prefs
 
 let size t = Array.length t.prefs

@@ -47,7 +47,7 @@ let neighbors t v =
   check_vertex t v;
   Hashtbl.fold (fun w () acc -> w :: acc) t.adj.(v) []
 
-let sorted_neighbors t v = List.sort compare (neighbors t v)
+let sorted_neighbors t v = List.sort Int.compare (neighbors t v)
 
 let isolate t v =
   check_vertex t v;
@@ -70,8 +70,35 @@ let copy t =
 let adjacency_arrays t =
   Array.init (vertex_count t) (fun v ->
       let a = Array.of_list (neighbors t v) in
-      Array.sort compare a;
+      Array.sort Int.compare a;
       a)
+
+let adjacency_csr t =
+  let n = vertex_count t in
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + Hashtbl.length t.adj.(v)
+  done;
+  let data = Array.make off.(n) 0 in
+  let fill = Array.make n 0 in
+  (* One pass per vertex: dump the hash-set neighbours into the segment,
+     then sort the segment in place.  No intermediate row arrays. *)
+  for v = 0 to n - 1 do
+    Hashtbl.iter
+      (fun w () ->
+        data.(off.(v) + fill.(v)) <- w;
+        fill.(v) <- fill.(v) + 1)
+      t.adj.(v)
+  done;
+  for v = 0 to n - 1 do
+    let len = off.(v + 1) - off.(v) in
+    if len > 1 then begin
+      let seg = Array.sub data off.(v) len in
+      Array.sort Int.compare seg;
+      Array.blit seg 0 data off.(v) len
+    end
+  done;
+  (off, data)
 
 let of_adjacency_arrays arrays =
   let g = create (Array.length arrays) in

@@ -53,6 +53,12 @@ val adjacency_arrays : t -> int array array
 (** Snapshot: for each vertex, its neighbours sorted increasingly.  This is
     the frozen form consumed by the matching algorithms' hot paths. *)
 
+val adjacency_csr : t -> int array * int array
+(** Compressed-sparse-row snapshot [(off, data)]: the neighbours of [v]
+    are [data.(off.(v)) .. data.(off.(v+1) - 1)], sorted increasingly.
+    One flat allocation instead of [n] row arrays — the form
+    [Instance.create] freezes acceptance graphs into. *)
+
 val of_adjacency_arrays : int array array -> t
 (** Rebuild a graph from (possibly unsorted) adjacency arrays; symmetry is
     enforced by insertion. *)

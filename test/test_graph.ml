@@ -198,6 +198,24 @@ let prop_gnp_rows_symmetric =
       c1.Components.count = c2.Components.count
       && Components.largest_size c1 = Components.largest_size c2)
 
+let prop_csr_matches_adjacency_arrays =
+  Helpers.qtest ~count:100 "CSR snapshot = per-row adjacency arrays"
+    Helpers.instance_params (fun (seed, n, p, _) ->
+      let rng = Rng.create seed in
+      let g = Gen.gnp rng ~n ~p in
+      let rows = U.adjacency_arrays g in
+      let off, data = U.adjacency_csr g in
+      Array.length off = n + 1
+      && off.(n) = Array.length data
+      && begin
+           let ok = ref true in
+           Array.iteri
+             (fun v row ->
+               if Array.sub data off.(v) (off.(v + 1) - off.(v)) <> row then ok := false)
+             rows;
+           !ok
+         end)
+
 let suite =
   [
     Alcotest.test_case "union-find basics" `Quick test_union_find_basic;
@@ -206,6 +224,7 @@ let suite =
     Alcotest.test_case "isolate removes incident edges" `Quick test_isolate;
     Alcotest.test_case "builders" `Quick test_builders;
     Alcotest.test_case "sorted neighbours / adjacency arrays" `Quick test_sorted_neighbors_and_arrays;
+    prop_csr_matches_adjacency_arrays;
     Alcotest.test_case "G(n,p) edge-count concentration" `Slow test_gnp_edge_count;
     Alcotest.test_case "G(n,p) extremes" `Quick test_gnp_extremes;
     Alcotest.test_case "G(n,p) symmetry, no self-loops" `Quick test_gnp_symmetry_no_selfloop;

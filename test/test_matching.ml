@@ -178,6 +178,164 @@ let prop_config_worst_cache_matches_lists =
          = Array.fold_left (fun acc l -> acc + List.length l) 0 model / 2)
 
 (* ------------------------------------------------------------------ *)
+(* Backend equivalence                                                 *)
+
+(* Executable spec of [Instance.first_index_above]: linear scan of the
+   materialized row. *)
+let first_above_spec row rank =
+  let len = Array.length row in
+  let rec go i = if i >= len || row.(i) > rank then i else go (i + 1) in
+  go 0
+
+(* Observational equality of two instances describing the same acceptance
+   system through different backends: every accessor of the iteration API
+   must agree (and match the row-based spec). *)
+let instances_agree a b =
+  let n = Instance.n a in
+  let ok = ref (n = Instance.n b) in
+  for p = 0 to n - 1 do
+    let row_a = Instance.acceptable a p and row_b = Instance.acceptable b p in
+    if row_a <> row_b then ok := false;
+    if Instance.degree a p <> Array.length row_a then ok := false;
+    if Instance.degree b p <> Array.length row_b then ok := false;
+    if Instance.slots a p <> Instance.slots b p then ok := false;
+    Array.iteri
+      (fun i q ->
+        if Instance.acceptable_at a p i <> q || Instance.acceptable_at b p i <> q then ok := false)
+      row_a;
+    let collected = ref [] in
+    Instance.iter_acceptable a p (fun q -> collected := q :: !collected);
+    if List.rev !collected <> Array.to_list row_a then ok := false;
+    if Instance.fold_acceptable a p (fun acc _ -> acc + 1) 0 <> Array.length row_a then ok := false;
+    for q = 0 to n - 1 do
+      if Instance.accepts a p q <> Instance.accepts b p q then ok := false
+    done;
+    for rank = -1 to n do
+      let spec = first_above_spec row_a rank in
+      if Instance.first_index_above a p ~rank <> spec then ok := false;
+      if Instance.first_index_above b p ~rank <> spec then ok := false
+    done
+  done;
+  !ok
+
+(* The generic blocking scan the fused kernels replaced — kept as the
+   executable spec of [Blocking.best_blocking_mate]. *)
+let reference_best_blocking_mate c p =
+  let inst = Config.instance c in
+  if Instance.slots inst p = 0 then None
+  else begin
+    let len = Instance.degree inst p in
+    let rec scan i =
+      if i >= len then None
+      else begin
+        let q = Instance.acceptable_at inst p i in
+        if not (Blocking.would_accept c p q) then None
+        else if (not (Config.mated c p q)) && Blocking.would_accept c q p then Some q
+        else scan (i + 1)
+      end
+    in
+    scan 0
+  end
+
+(* Drive one random op sequence on a config per instance (all instances
+   describing the same acceptance system) and demand identical signatures
+   and spec-conformant blocking observations after every op. *)
+let configs_stay_equivalent rng insts ~ops =
+  match insts with
+  | [] -> true
+  | first :: _ ->
+      let n = Instance.n first in
+      let cs = List.map Config.empty insts in
+      let ok = ref true in
+      let check () =
+        (match cs with
+        | c0 :: rest ->
+            let s0 = Config.signature c0 in
+            List.iter (fun c -> if Config.signature c <> s0 then ok := false) rest
+        | [] -> ());
+        List.iter
+          (fun c ->
+            for p = 0 to n - 1 do
+              if Blocking.best_blocking_mate c p <> reference_best_blocking_mate c p then
+                ok := false
+            done)
+          cs
+      in
+      for _ = 1 to ops do
+        let p = Rng.int rng n in
+        (match Rng.int rng 3 with
+        | 0 ->
+            (* A best-mate initiative — the dynamics' own operation. *)
+            List.iter
+              (fun c ->
+                match Blocking.best_blocking_mate c p with
+                | None -> ()
+                | Some q ->
+                    if Config.free_slots c p <= 0 then ignore (Config.drop_worst c p);
+                    if Config.free_slots c q <= 0 then ignore (Config.drop_worst c q);
+                    Config.connect c p q)
+              cs
+        | 1 -> List.iter (fun c -> ignore (Config.drop_worst c p)) cs
+        | _ ->
+            List.iter
+              (fun c -> if Config.degree c p > 0 then Config.disconnect c p (Config.mate_at c p 0))
+              cs);
+        check ()
+      done;
+      !ok
+
+let complete_params =
+  QCheck.make
+    ~print:(fun (seed, n, bmax) -> Printf.sprintf "seed=%d n=%d bmax=%d" seed n bmax)
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* n = int_range 1 20 in
+      let* bmax = int_range 0 4 in
+      return (seed, n, bmax))
+
+let prop_complete_backend_equiv =
+  Helpers.qtest ~count:60 "implicit complete backend = materialized dense"
+    complete_params (fun (seed, n, bmax) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      let implicit = Instance.complete ~n ~b () in
+      let dense = Instance.create ~graph:(Gen.complete n) ~b () in
+      instances_agree implicit dense
+      && Config.signature (Greedy.stable_config implicit)
+         = Config.signature (Greedy.stable_config dense)
+      && Blocking.is_stable (Greedy.stable_config implicit)
+      && configs_stay_equivalent rng [ implicit; dense ] ~ops:60)
+
+let prop_complete_minus_backend_equiv =
+  Helpers.qtest ~count:60 "complete-minus backend = materialized dense"
+    complete_params (fun (seed, n, bmax) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      let removed = List.filter (fun _ -> Rng.int rng 4 = 0) (List.init n (fun p -> p)) in
+      let gone = Array.make n false in
+      List.iter (fun p -> gone.(p) <- true) removed;
+      let adj =
+        Array.init n (fun p ->
+            if gone.(p) then [||]
+            else
+              Array.of_list
+                (List.filter (fun q -> (q <> p) && not gone.(q)) (List.init n (fun q -> q))))
+      in
+      let implicit = Instance.complete_minus ~n ~b ~removed () in
+      let dense = Instance.of_adjacency ~adj ~b () in
+      instances_agree implicit dense
+      && Config.signature (Greedy.stable_config implicit)
+         = Config.signature (Greedy.stable_config dense)
+      && configs_stay_equivalent rng [ implicit; dense ] ~ops:60)
+
+let prop_blocking_fused_matches_reference =
+  Helpers.qtest ~count:120 "fused blocking scan = generic reference"
+    Helpers.instance_params (fun (seed, n, p, bmax) ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_instance rng ~n ~p ~bmax in
+      configs_stay_equivalent rng [ inst ] ~ops:80)
+
+(* ------------------------------------------------------------------ *)
 (* Blocking                                                            *)
 
 let test_blocking_basics () =
@@ -644,6 +802,9 @@ let suite =
     Alcotest.test_case "greedy complete-graph blocks (Fig 4)" `Quick test_greedy_complete_blocks;
     Alcotest.test_case "fast complete path = generic greedy" `Quick
       test_greedy_complete_matches_generic;
+    prop_complete_backend_equiv;
+    prop_complete_minus_backend_equiv;
+    prop_blocking_fused_matches_reference;
     Alcotest.test_case "stable partners array" `Quick test_greedy_partners_array;
     prop_greedy_stable;
     prop_greedy_unique_stable;
