@@ -7,7 +7,10 @@
    engine (replicas/sec vs --jobs, written to BENCH_parallel.json) and the
    incremental stability-detection fix.  Part 4 measures the
    implicit-backend / flat-config matching core against a faithful replica
-   of the pre-rewrite representation (BENCH_core.json).
+   of the pre-rewrite representation (BENCH_core.json).  Part 5 races the
+   two convergence schedulers — the paper's uniform random polling vs the
+   worklist of active candidates — to the same stable configuration
+   (BENCH_sched.json).
 
    Environment knobs:
      BENCH_SCALE=0.2     shrink the regeneration workloads (default 1.0)
@@ -20,6 +23,9 @@
                          compares against)
      BENCH_CORE_OUT=path where to write the matching-core run manifest
                          (default BENCH_core.json — also a checked-in
+                         baseline)
+     BENCH_SCHED_OUT=path where to write the scheduler-race run manifest
+                         (default BENCH_sched.json — also a checked-in
                          baseline). *)
 
 open Bechamel
@@ -47,7 +53,17 @@ let regenerate () =
     | Some s -> ( try max 1 (int_of_string s) with _ -> Exec.default_jobs ())
     | None -> Exec.default_jobs ()
   in
-  let ctx = { E.seed = 42; scale; csv_dir = None; jobs; manifest_dir = None; n_override = None } in
+  let ctx =
+    {
+      E.seed = 42;
+      scale;
+      csv_dir = None;
+      jobs;
+      manifest_dir = None;
+      n_override = None;
+      scheduler = Scheduler.Random_poll;
+    }
+  in
   Printf.printf "Regenerating all tables and figures (scale %g, jobs %d)\n%!" scale jobs;
   List.iter
     (fun (_, _, f) ->
@@ -766,9 +782,125 @@ let bench_core () =
   Obs.Run_manifest.write_path out manifest;
   Printf.printf "  wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: convergence schedulers — random polling vs active worklist  *)
+
+let bench_sched () =
+  print_endline "\n================ Convergence scheduler (random poll vs worklist) ================";
+  let module Obs = Stratify_obs in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Race both policies from the empty configuration to the (unique,
+     Theorem 1) stable configuration.  [run_until_stable] counts every
+     initiative attempt; under [Worklist] it terminates the moment the
+     dirty queue drains, which certifies stability without the
+     random-poll tail of wasted scans.  Final configurations must be
+     bit-identical — that is the uniqueness theorem, pinned here by
+     checksum. *)
+  let race ~label inst ~max_units =
+    let stable = Greedy.stable_config inst in
+    let run policy =
+      let rng = Rng.create 42 in
+      let sim = Sim.create ~scheduler:policy inst rng in
+      let steps_opt, dt = time (fun () -> Sim.run_until_stable sim ~stable ~max_units) in
+      match steps_opt with
+      | None ->
+          failwith
+            (Printf.sprintf "bench.sched: %s did not stabilize under %s" label
+               (Scheduler.policy_name policy))
+      | Some attempts ->
+          let checksum = fnv_pairs (fun f -> Config.iter_pairs f (Sim.config sim)) in
+          (attempts, Sim.active_count sim, checksum, dt)
+    in
+    let attempts_r, active_r, cs_r, dt_r = run Scheduler.Random_poll in
+    let attempts_w, active_w, cs_w, dt_w = run Scheduler.Worklist in
+    if cs_r <> cs_w then
+      failwith (Printf.sprintf "bench.sched: %s final configurations diverged" label);
+    let ratio = float_of_int attempts_r /. float_of_int (max 1 attempts_w) in
+    Printf.printf "  %s:\n" label;
+    Printf.printf "    random poll:  %9d attempts (%d active) in %6.3f s\n" attempts_r active_r
+      dt_r;
+    Printf.printf "    worklist:     %9d attempts (%d active) in %6.3f s  (%.1fx fewer attempts)\n%!"
+      attempts_w active_w dt_w ratio;
+    (attempts_r, attempts_w, active_w, cs_w, dt_r, dt_w, ratio)
+  in
+  let n4 = 10_000 and b0 = 6 in
+  let complete = Instance.complete ~n:n4 ~b:(Array.make n4 b0) () in
+  (* Random polling needs ~0.47·n units here (stratification settles
+     top-down, so low-stratum polls are wasted until their turn —
+     DESIGN.md §9); the worklist replays Algorithm 1's connection order
+     in ~B/2 active pops.  The random leg dominates this bench's wall
+     time by design: that cost is the measurement. *)
+  let c_ar, c_aw, c_actw, c_cs, c_dtr, c_dtw, c_ratio =
+    race ~label:(Printf.sprintf "complete n=%d b0=%d" n4 b0) complete ~max_units:6_000
+  in
+  if c_ratio < 5. then
+    failwith
+      (Printf.sprintf "bench.sched: worklist saves only %.1fx attempts on the complete case"
+         c_ratio);
+  let n5 = 100_000 and d = 10. in
+  let gnd =
+    let rng = Rng.create 1 in
+    let graph = Gen.gnd rng ~n:n5 ~d in
+    Instance.create ~graph ~b:(Array.make n5 1) ()
+  in
+  let g_ar, g_aw, g_actw, g_cs, g_dtr, g_dtw, g_ratio =
+    race ~label:(Printf.sprintf "G(n,d) n=%d d=%g b=1" n5 d) gnd ~max_units:400
+  in
+  (* Pin exact determinism: the shared final configuration of each case
+     and the worklist attempt counts (the worklist draws no randomness
+     with the best-mate strategy, so these are schedule-determined). *)
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  Obs.Counter.add (Obs.Counter.make "checksum.sched_complete_config") c_cs;
+  Obs.Counter.add (Obs.Counter.make "checksum.sched_complete_worklist_attempts") c_aw;
+  Obs.Counter.add (Obs.Counter.make "checksum.sched_complete_worklist_active") c_actw;
+  Obs.Counter.add (Obs.Counter.make "checksum.sched_gnd_config") g_cs;
+  Obs.Counter.add (Obs.Counter.make "checksum.sched_gnd_worklist_attempts") g_aw;
+  Obs.Counter.add (Obs.Counter.make "checksum.sched_gnd_worklist_active") g_actw;
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_sched" ~seed:42 ~scale:1.0 ~jobs:1
+      ~metrics:
+        [
+          ("complete/n", float_of_int n4);
+          ("complete/b0", float_of_int b0);
+          ("complete/attempts_random", float_of_int c_ar);
+          ("complete/attempts_worklist", float_of_int c_aw);
+          ("complete/attempts_ratio", c_ratio);
+          ("complete/wall_random_s", c_dtr);
+          ("complete/wall_worklist_s", c_dtw);
+          ("rate/sched_complete_random", float_of_int c_ar /. c_dtr);
+          ("rate/sched_complete_worklist", float_of_int c_aw /. c_dtw);
+          ("gnd/n", float_of_int n5);
+          ("gnd/d", d);
+          ("gnd/attempts_random", float_of_int g_ar);
+          ("gnd/attempts_worklist", float_of_int g_aw);
+          ("gnd/attempts_ratio", g_ratio);
+          ("gnd/wall_random_s", g_dtr);
+          ("gnd/wall_worklist_s", g_dtw);
+          ("rate/sched_gnd_random", float_of_int g_ar /. g_dtr);
+          ("rate/sched_gnd_worklist", float_of_int g_aw /. g_dtw);
+        ]
+      ()
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_SCHED_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_sched.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
+
 let () =
   if Sys.getenv_opt "BENCH_SKIP_REGEN" = None then regenerate ();
   run_benchmarks ();
   bench_parallel_scaling ();
   bench_core ();
+  bench_sched ();
   bench_stability_detection ()

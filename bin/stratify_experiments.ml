@@ -42,6 +42,21 @@ let n_arg =
   in
   Arg.(value & opt (some int) None & info [ "n"; "num-peers" ] ~docv:"N" ~doc)
 
+let scheduler_arg =
+  let doc =
+    "Convergence scheduler for the dynamics experiments (fig1, fig2, fig3, scaling, \
+     strategies): 'random' polls a uniform peer per step (the paper's setting, default); \
+     'worklist' drains a dirty queue of active candidates seeded through the rewire hook — \
+     the reached stable configurations are identical (Theorem 1), with far fewer wasted \
+     initiative attempts."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("random", Stratify_core.Scheduler.Random_poll);
+                  ("worklist", Stratify_core.Scheduler.Worklist) ])
+        Stratify_core.Scheduler.Random_poll
+    & info [ "scheduler" ] ~docv:"POLICY" ~doc)
+
 let manifest_arg =
   let doc =
     "Directory to write one JSON run manifest per experiment (created if missing): seed, scale, \
@@ -51,16 +66,16 @@ let manifest_arg =
   in
   Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"DIR" ~doc)
 
-let context seed scale csv_dir jobs manifest_dir n_override =
+let context seed scale csv_dir jobs manifest_dir n_override scheduler =
   if scale <= 0. || scale > 1. then `Error (false, "scale must be in (0, 1]")
   else if jobs < 1 then `Error (false, "jobs must be >= 1")
   else
     match n_override with
     | Some n when n < 1 -> `Error (false, "n must be >= 1")
-    | _ -> `Ok { E.seed; scale; csv_dir; jobs; manifest_dir; n_override }
+    | _ -> `Ok { E.seed; scale; csv_dir; jobs; manifest_dir; n_override; scheduler }
 
-let run_experiment entry seed scale csv_dir jobs manifest_dir n_override =
-  match context seed scale csv_dir jobs manifest_dir n_override with
+let run_experiment entry seed scale csv_dir jobs manifest_dir n_override scheduler =
+  match context seed scale csv_dir jobs manifest_dir n_override scheduler with
   | `Error _ as e -> e
   | `Ok ctx ->
       E.run_named ctx entry;
@@ -73,19 +88,22 @@ let experiment_cmd ((name, description, _) as entry) =
     Term.(
       ret
         (const (run_experiment entry) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg
-       $ n_arg))
+       $ n_arg $ scheduler_arg))
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
-  let run seed scale csv_dir jobs manifest_dir n_override =
-    match context seed scale csv_dir jobs manifest_dir n_override with
+  let run seed scale csv_dir jobs manifest_dir n_override scheduler =
+    match context seed scale csv_dir jobs manifest_dir n_override scheduler with
     | `Error _ as e -> e
     | `Ok ctx ->
         List.iter (E.run_named ctx) E.all;
         `Ok ()
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(ret (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg $ n_arg))
+    Term.(
+      ret
+        (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg $ n_arg
+       $ scheduler_arg))
 
 let list_cmd =
   let doc = "List available experiments." in

@@ -42,6 +42,7 @@ let () =
             units = 16;
             samples_per_unit = 4;
             strategy = Initiative.Best_mate;
+            scheduler = Scheduler.Random_poll;
           }
         in
         let traj = Churn.run rng params in
@@ -57,7 +58,16 @@ let () =
     (fun strategy ->
       let rng = Rng.create 7 in
       let params =
-        { Churn.n; d; b = 1; rate = 0.005; units = 16; samples_per_unit = 2; strategy }
+        {
+          Churn.n;
+          d;
+          b = 1;
+          rate = 0.005;
+          units = 16;
+          samples_per_unit = 2;
+          strategy;
+          scheduler = Scheduler.Random_poll;
+        }
       in
       let traj = Churn.run rng params in
       Output.note "%-12s plateau disorder %.4f"

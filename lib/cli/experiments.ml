@@ -16,10 +16,19 @@ type context = {
   jobs : int;
   manifest_dir : string option;
   n_override : int option;
+  scheduler : Scheduler.policy;
 }
 
 let default_context =
-  { seed = 42; scale = 1.; csv_dir = None; jobs = 1; manifest_dir = None; n_override = None }
+  {
+    seed = 42;
+    scale = 1.;
+    csv_dir = None;
+    jobs = 1;
+    manifest_dir = None;
+    n_override = None;
+    scheduler = Scheduler.Random_poll;
+  }
 
 let scaled ctx full = max 1 (int_of_float (Float.round (float_of_int full *. ctx.scale)))
 
@@ -30,6 +39,17 @@ let maybe_csv ctx name series =
 
 let maybe_csv_table ctx name t =
   match ctx.csv_dir with Some dir -> Output.write_csv ~dir ~name t | None -> ()
+
+(* Order-sensitive 50-bit FNV hash of the collaboration set — the same
+   machine-independent checksum as the bench manifests.  fig1 records
+   one per trajectory so CI can assert the reached fixed point is
+   scheduler-invariant (Theorem 1's uniqueness, checked end to end). *)
+let config_checksum c =
+  let h = ref 0x811c9dc5 in
+  Config.iter_pairs
+    (fun p q -> h := ((!h * 16777619) lxor ((p lsl 20) lxor q)) land ((1 lsl 50) - 1))
+    c;
+  !h
 
 (* ------------------------------------------------------------------ *)
 
@@ -48,8 +68,14 @@ let fig1 ctx =
            let graph = Gen.gnd rng ~n ~d in
            let inst = Instance.create ~graph ~b:(Array.make n 1) () in
            let stable = Greedy.stable_config inst in
-           let sim = Sim.create inst rng in
+           let sim = Sim.create ~scheduler:ctx.scheduler inst rng in
            let traj = Sim.disorder_trajectory sim ~stable ~units ~samples_per_unit:4 in
+           (* Counter names are per-combo, values a single add: totals
+              stay jobs-invariant and, by uniqueness, scheduler-
+              invariant once converged. *)
+           Stratify_obs.Counter.add
+             (Stratify_obs.Counter.make (Printf.sprintf "checksum.fig1_final/%d" i))
+             (config_checksum (Sim.config sim));
            { traj with Series.label = Printf.sprintf "n=%d,d=%g" n d }))
   in
   List.iteri
@@ -74,7 +100,8 @@ let fig2 ctx =
       (fun remove ->
         let rng = Rng.create ctx.seed in
         let traj =
-          Churn.removal_trajectory rng ~n ~d ~b:1 ~remove ~units:10 ~samples_per_unit:4
+          Churn.removal_trajectory ~scheduler:ctx.scheduler rng ~n ~d ~b:1 ~remove ~units:10
+            ~samples_per_unit:4
         in
         let traj = { traj with Series.label = Printf.sprintf "peer %d removed" (remove + 1) } in
         Output.note "peer %4d removed: initial disorder %.4f, max %.4f, final %.5f" (remove + 1)
@@ -104,6 +131,7 @@ let fig3 ctx =
             units = 20;
             samples_per_unit = 4;
             strategy = Initiative.Best_mate;
+            scheduler = ctx.scheduler;
           }
         in
         let traj = Churn.run rng params in
@@ -553,7 +581,7 @@ let strategies_ablation ctx =
         let graph = Gen.gnd rng ~n ~d in
         let inst = Instance.create ~graph ~b:(Array.make n 1) () in
         let stable = Greedy.stable_config inst in
-        let sim = Sim.create ~strategy inst rng in
+        let sim = Sim.create ~strategy ~scheduler:ctx.scheduler inst rng in
         match Sim.run_until_stable sim ~stable ~max_units:2000 with
         | Some steps ->
             units := (float_of_int steps /. float_of_int n) :: !units;
@@ -589,7 +617,7 @@ let scaling ctx =
           let graph = Gen.gnd rng ~n ~d in
           let inst = Instance.create ~graph ~b:(Array.make n 1) () in
           let stable = Greedy.stable_config inst in
-          let sim = Sim.create inst rng in
+          let sim = Sim.create ~scheduler:ctx.scheduler inst rng in
           match Sim.run_until_stable sim ~stable ~max_units:4000 with
           | Some steps -> float_of_int steps /. float_of_int n
           | None -> Float.nan)

@@ -15,6 +15,7 @@ type context = {
   jobs : int;
   manifest_dir : string option;
   n_override : int option;
+  scheduler : Stratify_core.Scheduler.policy;
 }
 (** [jobs] is the worker-domain count handed to {!Stratify_exec.Exec} by
     the Monte-Carlo-heavy experiments (fig1, table1, fig6, fig9, scaling).
@@ -34,10 +35,19 @@ type context = {
     complete-acceptance-graph experiments (fig4, table1, fig6) —
     bypassing [scale] for the population (replicate counts still scale).
     Because those experiments run on the implicit [Instance.complete]
-    backend, [--n 100000] holds O(n·b̄) memory, not O(n²). *)
+    backend, [--n 100000] holds O(n·b̄) memory, not O(n²).
+
+    [scheduler] selects how the dynamics experiments (fig1, fig2, fig3,
+    strategies, scaling) pick initiative takers:
+    {!Stratify_core.Scheduler.Random_poll} (the paper's uniform polling,
+    the default) or {!Stratify_core.Scheduler.Worklist} (drain the dirty
+    queue of active candidates).  By Theorem 1's uniqueness both reach
+    the same stable configurations — fig1 pins this with the
+    [checksum.fig1_final/<i>] manifest counters. *)
 
 val default_context : context
-(** seed 42, scale 1.0, no CSV, [jobs = 1], no manifests. *)
+(** seed 42, scale 1.0, no CSV, [jobs = 1], no manifests, random-poll
+    scheduler. *)
 
 val run_named : context -> string * string * (context -> unit) -> unit
 (** Run one registry entry.  Without [manifest_dir] this just calls the

@@ -96,6 +96,7 @@ let best_blocking_mate c p =
     | Instance.Raw_dense { off = goff; data = gdata } -> scan_row gdata goff.(p) goff.(p + 1) (-1) 0
     | Instance.Raw_complete_minus { alive; pos } ->
         if pos.(p) < 0 then None else scan_row alive 0 (Array.length alive) p 0
+    | Instance.Raw_dynamic { rows; len } -> scan_row rows.(p) 0 len.(p) (-1) 0
   end
 
 let blocking_mate_from c p ~start =

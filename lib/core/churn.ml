@@ -1,6 +1,5 @@
 module Rng = Stratify_prng.Rng
 module Gen = Stratify_graph.Gen
-module Undirected = Stratify_graph.Undirected
 module Series = Stratify_stats.Series
 
 type params = {
@@ -11,10 +10,14 @@ type params = {
   units : int;
   samples_per_unit : int;
   strategy : Initiative.strategy;
+  scheduler : Scheduler.policy;
 }
 
 (* Rebuild a configuration on a fresh instance, keeping the collaborations
-   whose two endpoints are still present and acceptable. *)
+   whose two endpoints are still present and acceptable.  The event loop
+   no longer uses this (events patch the live [Config] in place: a
+   departure touches only the departed peer's pairs, an arrival touches
+   none) — it remains the reference semantics, pinned by tests. *)
 let reconfigure old_config instance present =
   let fresh = Config.empty instance in
   Config.iter_pairs
@@ -24,44 +27,93 @@ let reconfigure old_config instance present =
     old_config;
   fresh
 
+(* The world keeps one [`Dynamic] instance alive for the whole run; peer
+   events patch its acceptance rows in place, so [config] and [stable]
+   (both allocated over it once, with full-budget segment capacity)
+   survive every event.  [stable] is maintained incrementally: each
+   event seeds [repair] with the perturbed neighbourhood and drains it
+   with the best-mate strategy — per-event cost O(cascade), and by
+   Theorem 1's uniqueness the result is bit-identical to a from-scratch
+   [Greedy.stable_config] of the patched instance. *)
 type world = {
-  graph : Undirected.t;
   present : bool array;
   budgets : int array;
-  mutable instance : Instance.t;
+  instance : Instance.t;
   mutable config : Config.t;
   mutable stable : Config.t;
-  mutable state : Initiative.state;
+  state : Initiative.state;
+  policy : Scheduler.policy;
+  sched : Scheduler.t;  (* dirty queue driving [config] under Worklist *)
+  repair : Scheduler.t;  (* dirty queue re-stabilizing [stable] *)
+  repair_rng : Rng.t;  (* never drawn from: best-mate repair is RNG-free *)
 }
 
-let make_world rng ~n ~d ~b =
+let make_world ?(scheduler = Scheduler.Random_poll) rng ~n ~d ~b =
   let graph = Gen.gnd rng ~n ~d in
-  let instance = Instance.create ~graph ~b:(Array.make n b) () in
+  let instance = Instance.dynamic ~graph ~b:(Array.make n b) () in
+  let sched = Scheduler.create ~n in
+  (* From the empty configuration any peer may block: seed them all.
+     Random_poll leaves the queue untouched (paper-faithful sampling). *)
+  (match scheduler with
+  | Scheduler.Worklist -> Scheduler.seed_all sched
+  | Scheduler.Random_poll -> ());
   {
-    graph;
     present = Array.make n true;
     budgets = Array.make n b;
     instance;
     config = Config.empty instance;
     stable = Greedy.stable_config instance;
     state = Initiative.create_state instance;
+    policy = scheduler;
+    sched;
+    repair = Scheduler.create ~n;
+    repair_rng = Rng.create 0;
   }
 
-let refresh w =
-  w.instance <- Instance.create ~graph:w.graph ~b:w.budgets ();
-  w.config <- reconfigure w.config w.instance w.present;
-  w.stable <- Greedy.stable_config w.instance;
-  w.state <- Initiative.create_state w.instance
+let world_instance w = w.instance
+let world_config w = w.config
+let world_stable w = w.stable
+let world_present w = w.present
+
+let restabilize w =
+  ignore (Scheduler.drain w.repair w.stable w.state Initiative.Best_mate w.repair_rng)
+
+(* Disconnect every collaboration of [v] in [config], reporting each
+   ex-mate to [note]: a dropped pair frees a slot on the surviving side,
+   and those are exactly the peers whose pairs may newly block. *)
+let drop_pairs config v ~note =
+  List.iter
+    (fun m ->
+      Config.disconnect config v m;
+      note m)
+    (Config.mates config v)
+
+let config_note w =
+  match w.policy with
+  | Scheduler.Worklist -> Scheduler.push w.sched
+  | Scheduler.Random_poll -> ignore
 
 let remove_peer w v =
-  Undirected.isolate w.graph v;
   w.present.(v) <- false;
-  refresh w
+  Instance.dyn_isolate w.instance v;
+  drop_pairs w.stable v ~note:(Scheduler.push w.repair);
+  restabilize w;
+  drop_pairs w.config v ~note:(config_note w)
 
 let insert_peer rng w v ~p =
   w.present.(v) <- true;
-  ignore (Gen.attach_fresh_vertex rng w.graph ~v ~p ~present:(fun x -> w.present.(x)));
-  refresh w
+  (* Same candidate stream as [Gen.attach_fresh_vertex] on a graph, but
+     the edges land directly in the live instance. *)
+  Gen.iter_fresh_edges rng
+    ~n:(Array.length w.present)
+    ~v ~p
+    ~present:(fun x -> w.present.(x))
+    (fun x -> Instance.dyn_add_edge w.instance v x);
+  (* Every new acceptance edge has [v] as an endpoint, so seeding the
+     arrival alone preserves the activation invariant. *)
+  Scheduler.push w.repair v;
+  restabilize w;
+  config_note w v
 
 let random_member rng mask value =
   let count = Array.fold_left (fun acc x -> if x = value then acc + 1 else acc) 0 mask in
@@ -103,14 +155,23 @@ let churn_event rng w ~p =
   else if not (try_insert ()) then ignore (try_remove ())
 
 let initiative_step rng w strategy =
-  match random_member rng w.present true with
-  | None -> ()
-  | Some peer -> ignore (Initiative.attempt w.config w.state strategy rng peer)
+  match w.policy with
+  | Scheduler.Random_poll -> (
+      match random_member rng w.present true with
+      | None -> ()
+      | Some peer -> ignore (Initiative.attempt w.config w.state strategy rng peer))
+  | Scheduler.Worklist -> (
+      match Scheduler.pop w.sched with
+      | None -> ()
+      | Some peer ->
+          let note q = Scheduler.push w.sched q in
+          if Initiative.attempt ~on_rewire:note w.config w.state strategy rng peer then
+            Scheduler.note_hit ())
 
 let run rng params =
-  let { n; d; b; rate; units; samples_per_unit; strategy } = params in
+  let { n; d; b; rate; units; samples_per_unit; strategy; scheduler } = params in
   let er_p = if n > 1 then d /. float_of_int (n - 1) else 0. in
-  let w = make_world rng ~n ~d ~b in
+  let w = make_world ~scheduler rng ~n ~d ~b in
   let stride = max 1 (n / samples_per_unit) in
   let total_steps = units * n in
   let sample () = Disorder.distance_on ~present:w.present w.config w.stable in
@@ -127,10 +188,13 @@ let run rng params =
   done;
   Series.make (Printf.sprintf "churn=%g" rate) (Array.of_list (List.rev !points))
 
-let removal_trajectory rng ~n ~d ~b ~remove ~units ~samples_per_unit =
-  let w = make_world rng ~n ~d ~b in
-  (* Start at the stable configuration, then lose one peer. *)
+let removal_trajectory ?(scheduler = Scheduler.Random_poll) rng ~n ~d ~b ~remove ~units
+    ~samples_per_unit =
+  let w = make_world ~scheduler rng ~n ~d ~b in
+  (* Start at the stable configuration, then lose one peer.  The copy is
+     stable, so the worklist restarts empty; the removal re-seeds it. *)
   w.config <- Config.copy w.stable;
+  Scheduler.clear w.sched;
   remove_peer w remove;
   let stride = max 1 (n / samples_per_unit) in
   let total_steps = units * n in

@@ -3,9 +3,20 @@
 
     A departure isolates a peer (its acceptance edges and collaborations
     vanish); an arrival re-inserts an absent peer with fresh Erdős–Rényi
-    edges to the present population.  The {e instant stable configuration}
-    is recomputed after every event, and disorder is always measured
-    against it, restricted to present peers. *)
+    edges to the present population.  Disorder is always measured
+    against the {e instant stable configuration}, restricted to present
+    peers.
+
+    Events are {e incremental}: the world keeps one [`Dynamic]
+    {!Instance} alive for the whole run and patches its acceptance rows
+    in place, and the instant stable configuration is {e repaired} —
+    a dirty queue seeded with just the perturbed neighbourhood (the
+    departed peer's ex-mates, or the arrival itself) is drained with
+    best-mate initiatives — instead of recomputed from scratch.  By
+    Theorem 1's uniqueness the repaired configuration is bit-identical
+    to a full [Greedy.stable_config] rebuild, at O(cascade) per event
+    instead of O(n + m); the repair draws no randomness, so trajectories
+    match the historical full-rebuild implementation exactly. *)
 
 type params = {
   n : int;  (** rank-universe size *)
@@ -15,6 +26,10 @@ type params = {
   units : int;  (** duration in base units *)
   samples_per_unit : int;
   strategy : Initiative.strategy;
+  scheduler : Scheduler.policy;
+      (** how initiative takers are chosen: [Random_poll] (the paper's
+          uniform sampling, the default) or [Worklist] (drain the dirty
+          queue — same fixed points, far fewer wasted polls) *)
 }
 
 val run : Stratify_prng.Rng.t -> params -> Stratify_stats.Series.t
@@ -22,6 +37,7 @@ val run : Stratify_prng.Rng.t -> params -> Stratify_stats.Series.t
     stable configuration over time, under continuous churn. *)
 
 val removal_trajectory :
+  ?scheduler:Scheduler.policy ->
   Stratify_prng.Rng.t ->
   n:int ->
   d:float ->
@@ -37,3 +53,53 @@ val removal_trajectory :
 val mean_disorder_tail : Stratify_stats.Series.t -> skip_units:float -> float
 (** Average disorder after a warm-up prefix — the "plateau level" used to
     compare churn rates. *)
+
+(** {2 World plumbing}
+
+    The event-level API, exposed for tests and custom drivers. *)
+
+type world
+(** Present mask + budgets + one live [`Dynamic] instance carrying the
+    acceptance graph, the evolving configuration and the incrementally
+    repaired instant stable configuration. *)
+
+val make_world :
+  ?scheduler:Scheduler.policy ->
+  Stratify_prng.Rng.t ->
+  n:int ->
+  d:float ->
+  b:int ->
+  world
+(** Fresh world over [G(n, d)] with constant budget [b], everyone
+    present, the empty configuration and its stable target (the run's
+    single from-scratch [Greedy.stable_config] call). *)
+
+val remove_peer : world -> int -> unit
+(** Departure: isolate the peer in the live instance, drop its
+    collaborations, and repair the stable configuration from the freed
+    neighbourhood. *)
+
+val insert_peer : Stratify_prng.Rng.t -> world -> int -> p:float -> unit
+(** Arrival: mark present, attach fresh Erdős–Rényi acceptance edges
+    (probability [p] to each present peer) in place, and repair the
+    stable configuration from the arrival. *)
+
+val churn_event : Stratify_prng.Rng.t -> world -> p:float -> unit
+(** One random event: a removal or an insertion (fair coin), falling
+    back to the other kind when impossible. *)
+
+val initiative_step : Stratify_prng.Rng.t -> world -> Initiative.strategy -> unit
+(** One initiative on the evolving configuration — by a uniformly random
+    present peer ([Random_poll]) or the next dirty peer ([Worklist]). *)
+
+val world_instance : world -> Instance.t
+val world_config : world -> Config.t
+val world_stable : world -> Config.t
+val world_present : world -> bool array
+
+val reconfigure : Config.t -> Instance.t -> bool array -> Config.t
+(** Reference semantics of an event's effect on a configuration: rebuild
+    on [instance], keeping exactly the collaborations whose endpoints
+    are both present and still acceptable.  The incremental event path
+    is equivalent (a departure touches only the departed peer's pairs;
+    an arrival touches none) — kept for tests. *)

@@ -21,7 +21,7 @@ let collaboration_graph ~b =
 let analyze adj =
   let comps = Components.of_adjacency adj in
   let sizes = Array.copy comps.Components.sizes in
-  Array.sort (fun a b -> compare b a) sizes;
+  Array.sort (fun a b -> Int.compare b a) sizes;
   {
     component_sizes = sizes;
     mean_size = Components.mean_size comps;

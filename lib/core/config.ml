@@ -16,8 +16,17 @@ type t = {
 let empty instance =
   let n = Instance.n instance in
   let off = Array.make (n + 1) 0 in
+  (* [`Dynamic] degrees change after construction, so capacity must be
+     the full budget; the frozen backends clamp to the degree. *)
+  let clamp_degree =
+    match Instance.backend_kind instance with `Dynamic -> false | _ -> true
+  in
   for p = 0 to n - 1 do
-    off.(p + 1) <- off.(p) + min (Instance.slots instance p) (Instance.degree instance p)
+    let cap =
+      if clamp_degree then min (Instance.slots instance p) (Instance.degree instance p)
+      else Instance.slots instance p
+    in
+    off.(p + 1) <- off.(p) + cap
   done;
   { instance; off; data = Array.make off.(n) (-1); deg = Array.make n 0; edges = 0 }
 

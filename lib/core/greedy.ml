@@ -60,10 +60,16 @@ let stable_config_complete inst =
   done;
   config
 
+(* "greedy.stable_config" counts full from-scratch builds: churn runs
+   use it (together with the "sched.*" counters) to prove they repaired
+   incrementally instead of rebuilding per event. *)
+let c_builds = Stratify_obs.Counter.make "greedy.stable_config"
+
 let stable_config inst =
+  Stratify_obs.Counter.incr c_builds;
   match Instance.backend_kind inst with
   | `Complete -> stable_config_complete inst
-  | `Dense | `Complete_minus -> stable_config_generic inst
+  | `Dense | `Complete_minus | `Dynamic -> stable_config_generic inst
 
 (* Standalone raw-array variant of the complete-graph case, kept as a
    reference implementation for tests and benchmarks. *)

@@ -86,7 +86,7 @@ let solve inst =
     end
   done;
   let residents_of =
-    Array.mapi (fun h l -> List.sort (fun a b -> compare (rank h a) (rank h b)) l) held
+    Array.mapi (fun h l -> List.sort (fun a b -> Int.compare (rank h a) (rank h b)) l) held
   in
   { hospital_of; residents_of }
 

@@ -6,11 +6,17 @@ module Undirected = Stratify_graph.Undirected
    every pair of distinct peers is acceptable, and the i-th best acceptable
    peer of [p] is [i] itself, shifted by one past [p].  [Complete_minus] is
    a complete graph restricted to a surviving peer set [alive] (sorted by
-   rank); [pos.(p)] is [p]'s index in [alive], or [-1] if removed. *)
+   rank); [pos.(p)] is [p]'s index in [alive], or [-1] if removed.
+   [Dynamic] is a mutable row-per-peer store for churn: peer [p]'s
+   acceptable peers are [rows.(p).(0 .. len.(p)-1)], increasing; rows
+   grow by amortized doubling and shrink in place, so arrivals and
+   departures patch the acceptance graph without reallocating the
+   instance. *)
 type backend =
   | Dense of { off : int array; data : int array }
   | Complete
   | Complete_minus of { alive : int array; pos : int array }
+  | Dynamic of { rows : int array array; len : int array }
 
 type t = {
   backend : backend;
@@ -31,17 +37,20 @@ let backend_kind t =
   | Dense _ -> `Dense
   | Complete -> `Complete
   | Complete_minus _ -> `Complete_minus
+  | Dynamic _ -> `Dynamic
 
 type raw_backend =
   | Raw_dense of { off : int array; data : int array }
   | Raw_complete
   | Raw_complete_minus of { alive : int array; pos : int array }
+  | Raw_dynamic of { rows : int array array; len : int array }
 
 let raw_backend t =
   match t.backend with
   | Dense { off; data } -> Raw_dense { off; data }
   | Complete -> Raw_complete
   | Complete_minus { alive; pos } -> Raw_complete_minus { alive; pos }
+  | Dynamic { rows; len } -> Raw_dynamic { rows; len }
 
 let raw_slots t = t.b
 
@@ -50,6 +59,7 @@ let degree t p =
   | Dense { off; _ } -> off.(p + 1) - off.(p)
   | Complete -> t.n - 1
   | Complete_minus { alive; pos } -> if pos.(p) < 0 then 0 else Array.length alive - 1
+  | Dynamic { len; _ } -> len.(p)
 
 let acceptable_at t p i =
   match t.backend with
@@ -58,6 +68,7 @@ let acceptable_at t p i =
   | Complete_minus { alive; pos } ->
       let k = pos.(p) in
       alive.(if i < k then i else i + 1)
+  | Dynamic { rows; _ } -> rows.(p).(i)
 
 let accepts t p q =
   p <> q
@@ -72,6 +83,16 @@ let accepts t p q =
       while (not !found) && !lo <= !hi do
         let mid = (!lo + !hi) / 2 in
         let x = data.(mid) in
+        if x = q then found := true else if x < q then lo := mid + 1 else hi := mid - 1
+      done;
+      !found
+  | Dynamic { rows; len } ->
+      let row = rows.(p) in
+      let lo = ref 0 and hi = ref (len.(p) - 1) in
+      let found = ref false in
+      while (not !found) && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = row.(mid) in
         if x = q then found := true else if x < q then lo := mid + 1 else hi := mid - 1
       done;
       !found
@@ -92,6 +113,11 @@ let iter_acceptable t p f =
   | Complete_minus { alive; pos } ->
       if pos.(p) >= 0 then
         Array.iter (fun q -> if q <> p then f q) alive
+  | Dynamic { rows; len } ->
+      let row = rows.(p) in
+      for i = 0 to len.(p) - 1 do
+        f row.(i)
+      done
 
 let iter_acceptable_from t p ~start f =
   let len = degree t p in
@@ -148,10 +174,19 @@ let first_index_above t p ~rank =
            shift down by one. *)
         if !lo <= pos.(p) then !lo else !lo - 1
       end
+  | Dynamic { rows; len } ->
+      let row = rows.(p) in
+      let lo = ref 0 and hi = ref len.(p) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if row.(mid) <= rank then lo := mid + 1 else hi := mid
+      done;
+      !lo
 
 let acceptable t p =
   match t.backend with
   | Dense { off; data } -> Array.sub data off.(p) (off.(p + 1) - off.(p))
+  | Dynamic { rows; len } -> Array.sub rows.(p) 0 len.(p)
   | _ ->
       let len = degree t p in
       Array.init len (fun i -> acceptable_at t p i)
@@ -247,3 +282,79 @@ let complete_minus ?ranking ~n ~b ~removed () =
     end
   done;
   finish ~backend:(Complete_minus { alive; pos }) ~ranking ~b ~n
+
+(* Dynamic (churn) backend.  Identity ranking only: mutations are given
+   in rank labels, and relabelling under a non-trivial ranking would
+   make the in-place patches ambiguous. *)
+let dynamic ~graph ~b () =
+  let n = Undirected.vertex_count graph in
+  check_b ~n b;
+  let off, data = Undirected.adjacency_csr graph in
+  let len = Array.init n (fun p -> off.(p + 1) - off.(p)) in
+  let rows =
+    Array.init n (fun p ->
+        let d = len.(p) in
+        let buf = Array.make (max 4 d) 0 in
+        Array.blit data off.(p) buf 0 d;
+        buf)
+  in
+  finish ~backend:(Dynamic { rows; len }) ~ranking:(Ranking.identity n) ~b ~n
+
+let dyn_fields t =
+  match t.backend with
+  | Dynamic { rows; len } -> (rows, len)
+  | _ -> invalid_arg "Instance: dynamic backend required"
+
+(* Sorted insert into [p]'s row, growing the buffer by doubling.  No-op
+   when the edge is already present (mirrors [Undirected.add_edge]). *)
+let row_insert rows len p q =
+  let buf = rows.(p) in
+  let d = len.(p) in
+  let lo = ref 0 and hi = ref d in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if buf.(mid) < q then lo := mid + 1 else hi := mid
+  done;
+  let i = !lo in
+  if i < d && buf.(i) = q then false
+  else begin
+    let buf =
+      if d < Array.length buf then buf
+      else begin
+        let grown = Array.make (max 4 (2 * d)) 0 in
+        Array.blit buf 0 grown 0 d;
+        rows.(p) <- grown;
+        grown
+      end
+    in
+    Array.blit buf i buf (i + 1) (d - i);
+    buf.(i) <- q;
+    len.(p) <- d + 1;
+    true
+  end
+
+let row_remove rows len p q =
+  let buf = rows.(p) in
+  let d = len.(p) in
+  let rec find i = if i >= d then -1 else if buf.(i) = q then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    Array.blit buf (i + 1) buf i (d - 1 - i);
+    len.(p) <- d - 1
+  end
+
+let dyn_add_edge t p q =
+  if p = q then invalid_arg "Instance.dyn_add_edge: self-loop";
+  if p < 0 || p >= t.n || q < 0 || q >= t.n then
+    invalid_arg "Instance.dyn_add_edge: peer out of range";
+  let rows, len = dyn_fields t in
+  if row_insert rows len p q then ignore (row_insert rows len q p)
+
+let dyn_isolate t p =
+  if p < 0 || p >= t.n then invalid_arg "Instance.dyn_isolate: peer out of range";
+  let rows, len = dyn_fields t in
+  let row = rows.(p) in
+  for i = 0 to len.(p) - 1 do
+    row_remove rows len row.(i) p
+  done;
+  len.(p) <- 0

@@ -15,6 +15,10 @@
       graphs) scale to 10⁵⁺ peers without an n×n adjacency.
     - [`Complete_minus] — complete minus a removal set, for
       connectivity-repair runs; O(n) memory.
+    - [`Dynamic] — mutable per-peer rows for churn workloads: arrivals
+      and departures patch the acceptance graph in place
+      ({!dyn_add_edge}/{!dyn_isolate}) so the instance — and every
+      {!Config} built on it — survives peer events.
 
     Algorithms should use [degree]/[acceptable_at] or the iteration
     functions below rather than [acceptable], which materializes a row. *)
@@ -46,7 +50,22 @@ val complete_minus :
     [removed] (given as peer ids): removed peers accept nobody and nobody
     accepts them.  O(n) memory. *)
 
-val backend_kind : t -> [ `Dense | `Complete | `Complete_minus ]
+val dynamic : graph:Stratify_graph.Undirected.t -> b:int array -> unit -> t
+(** A [`Dynamic] instance snapshotting [graph] (identity ranking only:
+    peer id = rank, so in-place mutations are unambiguous).  Unlike the
+    frozen backends its acceptance rows may change after construction
+    through {!dyn_add_edge}/{!dyn_isolate}; budgets stay fixed. *)
+
+val dyn_add_edge : t -> int -> int -> unit
+(** Add an acceptance edge to a [`Dynamic] instance (no-op when already
+    present).  O(degree) per endpoint.  Raises [Invalid_argument] on
+    other backends, self-loops, or out-of-range peers. *)
+
+val dyn_isolate : t -> int -> unit
+(** Drop every acceptance edge of a peer in a [`Dynamic] instance (a
+    churn departure).  O(Σ neighbour degree). *)
+
+val backend_kind : t -> [ `Dense | `Complete | `Complete_minus | `Dynamic ]
 (** Which backend holds the acceptance graph — lets algorithms pick
     specialised fast paths ([Greedy.stable_config] does). *)
 
@@ -114,6 +133,10 @@ type raw_backend =
   | Raw_complete_minus of { alive : int array; pos : int array }
       (** Surviving ranks, increasing; [pos.(p)] is [p]'s index in
           [alive], [-1] if removed. *)
+  | Raw_dynamic of { rows : int array array; len : int array }
+      (** Mutable rows: peer [p]'s acceptance list is
+          [rows.(p).(0 .. len.(p)-1)], increasing.  Row buffers are
+          replaced on growth, so re-read [rows.(p)] on every use. *)
 
 val raw_backend : t -> raw_backend
 (** Backend storage view.  O(1), allocates one small block. *)

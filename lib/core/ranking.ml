@@ -12,8 +12,8 @@ let of_scores score =
   let peer_at = Array.init n (fun i -> i) in
   Array.sort
     (fun a b ->
-      let c = compare score.(b) score.(a) in
-      if c <> 0 then c else compare a b)
+      let c = Float.compare score.(b) score.(a) in
+      if c <> 0 then c else Int.compare a b)
     peer_at;
   (* Detect ties between rank-adjacent peers (sorting makes adjacency
      sufficient). *)
@@ -39,5 +39,5 @@ let rank t p = t.rank_of.(p)
 let peer_at t r = t.peer_at.(r)
 let score t p = t.score.(p)
 let prefers t p q = t.rank_of.(p) < t.rank_of.(q)
-let compare_peers t p q = compare t.rank_of.(p) t.rank_of.(q)
+let compare_peers t p q = Int.compare t.rank_of.(p) t.rank_of.(q)
 let is_identity t = t.identity

@@ -1,0 +1,81 @@
+(** Convergence scheduling — which peer attempts the next initiative.
+
+    Theorem 1 makes the stable configuration schedule-independent: any
+    sequence of active initiatives reaches the same fixed point.  That
+    licenses two interchangeable policies:
+
+    - {e Random_poll} — each step polls a uniformly random peer, the
+      paper's §3 setting and the default for paper-faithful
+      trajectories (Figs 1–3).  Near stability almost every poll is a
+      wasted pass.
+    - {e Worklist} — an intrusive dirty set of {e active candidates}:
+      only peers whose mate list (or acceptance neighbourhood) changed
+      since they last found no blocking mate are polled, best rank
+      first.  Seeded and re-seeded through {!Initiative.perform}'s
+      [on_rewire] hook; an empty set certifies stability, so
+      convergence costs O(cascade) instead of O(n) polls per quiescent
+      sweep, and the rank order replays Theorem 1's constructive
+      schedule (strata settle top-down, active count near B/2).
+
+    Soundness of the dirty set: a rewire changes the state of exactly
+    the peers [on_rewire] reports (the two principals and any dropped
+    mates), a pair's blocking status depends only on its endpoints'
+    states, and a peer is popped only after scanning its whole
+    acceptance list without finding a blocking mate — so "every
+    blocking pair has an endpoint in the queue" is an invariant and an
+    empty queue implies no blocking pair exists. *)
+
+type policy = Random_poll | Worklist
+
+val policy_name : policy -> string
+(** ["random"] / ["worklist"] — the [--scheduler] CLI spelling. *)
+
+val policy_of_string : string -> policy option
+
+type t
+(** A dirty set over peers [0 .. n-1]: {!pop} returns the
+    lowest-labelled member (= best-ranked under the identity ranking),
+    each peer present at most once (word-packed bitset), O(1) push and
+    amortised-O(1) pop, no allocation after {!create}. *)
+
+val create : n:int -> t
+(** An empty queue over [n] peers. *)
+
+val push : t -> int -> unit
+(** Mark a peer dirty; no-op if already queued.  Bumps "sched.pushes"
+    when it actually enqueues (observability on). *)
+
+val pop : t -> int option
+(** Lowest-labelled dirty peer, or [None] when the set is empty (= the
+    configuration is stable if the invariant was maintained).  Bumps
+    "sched.pops". *)
+
+val mem : t -> int -> bool
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val seed_all : t -> unit
+(** Mark every peer dirty (convergence from an arbitrary
+    configuration, e.g. the empty one). *)
+
+val drain :
+  ?on_rewire:(int -> unit) ->
+  t ->
+  Config.t ->
+  Initiative.state ->
+  Initiative.strategy ->
+  Stratify_prng.Rng.t ->
+  int * int
+(** Pop-and-attempt until the queue is empty, re-queueing every peer
+    [Initiative.perform] reports as rewired; returns
+    [(active, attempts)].  With the [Best_mate] strategy this consumes
+    no randomness, so it can repair a configuration mid-stream without
+    perturbing the caller's RNG trajectory ({!Churn} relies on this).
+    [on_rewire] is forwarded to the underlying attempts (after the
+    queue push) for external divergence trackers. *)
+
+val note_hit : unit -> unit
+(** Bump "sched.hits" — for callers that pop manually ({!Sim}) rather
+    than through {!drain}. *)

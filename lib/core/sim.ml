@@ -16,18 +16,31 @@ type t = {
   state : Initiative.state;
   strategy : Initiative.strategy;
   rng : Rng.t;
+  sched : Scheduler.t option;  (* [Some] iff the Worklist policy drives stepping *)
   mutable steps : int;
   mutable active : int;
 }
 
-let create ?start ?(strategy = Initiative.Best_mate) instance rng =
+let create ?start ?(strategy = Initiative.Best_mate) ?(scheduler = Scheduler.Random_poll)
+    instance rng =
   let config = match start with Some c -> Config.copy c | None -> Config.empty instance in
+  let sched =
+    match scheduler with
+    | Scheduler.Random_poll -> None
+    | Scheduler.Worklist ->
+        (* Starting from an arbitrary configuration, any peer may have a
+           blocking mate: seed them all.  Rewires re-seed incrementally. *)
+        let s = Scheduler.create ~n:(Instance.n instance) in
+        Scheduler.seed_all s;
+        Some s
+  in
   {
     instance;
     config;
     state = Initiative.create_state instance;
     strategy;
     rng;
+    sched;
     steps = 0;
     active = 0;
   }
@@ -36,15 +49,36 @@ let config t = t.config
 let steps t = t.steps
 let active_count t = t.active
 
-let step t =
-  let n = Instance.n t.instance in
-  let p = Rng.int t.rng n in
+let record t was_active =
   t.steps <- t.steps + 1;
-  let was_active = Initiative.attempt t.config t.state t.strategy t.rng p in
   if was_active then t.active <- t.active + 1;
   Obs.Counter.incr c_steps;
-  if was_active then Obs.Counter.incr c_active;
-  was_active
+  if was_active then Obs.Counter.incr c_active
+
+(* One scheduling decision: [Some was_active] after an initiative
+   attempt, [None] when a Worklist queue is empty — which certifies
+   stability (see [Scheduler]), so no attempt is made or counted. *)
+let attempt_next t ~on_rewire =
+  match t.sched with
+  | None ->
+      let p = Rng.int t.rng (Instance.n t.instance) in
+      let was_active = Initiative.attempt ?on_rewire t.config t.state t.strategy t.rng p in
+      record t was_active;
+      Some was_active
+  | Some s -> (
+      match Scheduler.pop s with
+      | None -> None
+      | Some p ->
+          let note q =
+            Scheduler.push s q;
+            match on_rewire with Some f -> f q | None -> ()
+          in
+          let was_active = Initiative.attempt ~on_rewire:note t.config t.state t.strategy t.rng p in
+          if was_active then Scheduler.note_hit ();
+          record t was_active;
+          Some was_active)
+
+let step t = match attempt_next t ~on_rewire:None with Some b -> b | None -> false
 
 let run_units t units =
   let n = Instance.n t.instance in
@@ -106,44 +140,38 @@ module Divergence = struct
     && Config.equal config tr.target
 end
 
-let step_tracked t ~on_rewire =
-  let n = Instance.n t.instance in
-  let p = Rng.int t.rng n in
-  t.steps <- t.steps + 1;
-  let was_active = Initiative.attempt ~on_rewire t.config t.state t.strategy t.rng p in
-  if was_active then t.active <- t.active + 1;
-  Obs.Counter.incr c_steps;
-  if was_active then Obs.Counter.incr c_active;
-  was_active
-
 let run_until_stable t ~stable ~max_units =
   let n = Instance.n t.instance in
   let limit = max_units * n in
   let start_steps = t.steps in
   let tr = Divergence.create t.config stable in
-  let on_rewire p = Divergence.touch tr t.config p in
+  let on_rewire = Some (fun p -> Divergence.touch tr t.config p) in
   let rec go () =
     if Divergence.maybe_equal tr t.config then Some (t.steps - start_steps)
     else if t.steps - start_steps >= limit then None
-    else begin
-      ignore (step_tracked t ~on_rewire);
-      go ()
-    end
+    else
+      match attempt_next t ~on_rewire with
+      | Some _ -> go ()
+      | None ->
+          (* Worklist drained: the configuration is stable.  It equals
+             [stable] iff the caller's target really is the (unique)
+             stable configuration — re-check rather than assume. *)
+          if Divergence.maybe_equal tr t.config then Some (t.steps - start_steps) else None
   in
   go ()
 
-let count_active_to_stability instance ~strategy rng ~max_steps =
-  let t = create ~strategy instance rng in
+let count_active_to_stability ?scheduler instance ~strategy rng ~max_steps =
+  let t = create ?scheduler ~strategy instance rng in
   let stable = Greedy.stable_config instance in
   let tr = Divergence.create t.config stable in
-  let on_rewire p = Divergence.touch tr t.config p in
+  let on_rewire = Some (fun p -> Divergence.touch tr t.config p) in
   let rec go () =
     if Divergence.maybe_equal tr t.config then Some t.active
     else if t.steps >= max_steps then None
-    else begin
-      ignore (step_tracked t ~on_rewire);
-      go ()
-    end
+    else
+      match attempt_next t ~on_rewire with
+      | Some _ -> go ()
+      | None -> if Divergence.maybe_equal tr t.config then Some t.active else None
   in
   go ()
 

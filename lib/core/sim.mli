@@ -16,11 +16,15 @@ type t
 val create :
   ?start:Config.t ->
   ?strategy:Initiative.strategy ->
+  ?scheduler:Scheduler.policy ->
   Instance.t ->
   Stratify_prng.Rng.t ->
   t
 (** Defaults: start from the empty configuration with the best-mate
-    strategy (the paper's setting). *)
+    strategy under {!Scheduler.Random_poll} (the paper's setting).
+    Under [~scheduler:Worklist] every peer starts queued and each
+    {!step} pops the dirty queue instead of drawing a random peer; by
+    Theorem 1 the reached fixed point is the same. *)
 
 val config : t -> Config.t
 val steps : t -> int
@@ -30,7 +34,10 @@ val active_count : t -> int
 (** Active initiatives so far. *)
 
 val step : t -> bool
-(** One initiative by a random peer; [true] when active. *)
+(** One initiative — by a uniformly random peer under [Random_poll], by
+    the next dirty peer under [Worklist]; [true] when active.  A
+    [Worklist] step with an empty queue is a no-op returning [false]
+    (the configuration is already stable) and counts no step. *)
 
 val run_units : t -> int -> unit
 (** Advance by whole base units ([n] steps each). *)
@@ -47,10 +54,17 @@ val run_until_stable : t -> stable:Config.t -> max_units:int -> int option
     Equality is detected incrementally (a per-peer divergence counter
     updated through [Initiative.perform]'s rewire hook), so each step
     costs O(1) amortised instead of an O(n) configuration scan; the step
-    count returned is identical to checking [Config.equal] every step. *)
+    count returned is identical to checking [Config.equal] every step.
+    Under [Worklist] the run also ends when the queue drains (stability
+    certified without sampling): the result is the number of pops. *)
 
 val count_active_to_stability :
-  Instance.t -> strategy:Initiative.strategy -> Stratify_prng.Rng.t -> max_steps:int -> int option
+  ?scheduler:Scheduler.policy ->
+  Instance.t ->
+  strategy:Initiative.strategy ->
+  Stratify_prng.Rng.t ->
+  max_steps:int ->
+  int option
 (** From the empty configuration, the number of {e active} initiatives
     performed before reaching the stable configuration (Theorem 1 says this
     is finite on every active sequence, and [B/2] is achievable). *)

@@ -85,4 +85,4 @@ let random_regular_baseline rng ~n ~degree =
     end;
     i := !i + 2
   done;
-  Array.map (fun l -> Array.of_list (List.sort compare l)) adj
+  Array.map (fun l -> Array.of_list (List.sort Int.compare l)) adj

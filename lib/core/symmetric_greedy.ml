@@ -13,8 +13,11 @@ let stable_state inst ~utility =
      determinism. *)
   Array.sort
     (fun (u1, p1, q1) (u2, p2, q2) ->
-      let c = compare u2 u1 in
-      if c <> 0 then c else compare (p1, q1) (p2, q2))
+      let c = Float.compare u2 u1 in
+      if c <> 0 then c
+      else
+        let c = Int.compare p1 p2 in
+        if c <> 0 then c else Int.compare q1 q2)
     edges;
   let s = G.State.empty inst in
   Array.iter

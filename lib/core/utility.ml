@@ -25,8 +25,8 @@ let preference_lists (Fn f) ~acceptance =
       let sorted = Array.copy row in
       Array.sort
         (fun q1 q2 ->
-          let c = compare (f p q2) (f p q1) in
-          if c <> 0 then c else compare q1 q2)
+          let c = Float.compare (f p q2) (f p q1) in
+          if c <> 0 then c else Int.compare q1 q2)
         sorted;
       sorted)
     acceptance

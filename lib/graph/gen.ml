@@ -103,18 +103,16 @@ let gnp_adjacency rng ~n ~p =
     (List.rev !edges);
   adj
 
-let attach_fresh_vertex rng g ~v ~p ~present =
-  let n = Undirected.vertex_count g in
-  let added = ref 0 in
-  (* Geometric skipping over candidate endpoints, same trick as gnp. *)
-  if p >= 1. then begin
+(* Geometric skipping over candidate endpoints, same trick as gnp.  The
+   RNG consumption depends only on (n, p) and the skip draws — not on
+   [present] or on what [f] does — so every consumer of the same
+   (rng, n, v, p) sees the same candidate sequence. *)
+let iter_fresh_edges rng ~n ~v ~p ~present f =
+  if p >= 1. then
     for w = 0 to n - 1 do
-      if w <> v && present w && Undirected.add_edge g v w then incr added
-    done;
-    !added
-  end
-  else if p <= 0. then 0
-  else begin
+      if w <> v && present w then f w
+    done
+  else if p > 0. then begin
     let log_q = log1p (-.p) in
     let w = ref (-1) in
     let continue = ref true in
@@ -123,7 +121,12 @@ let attach_fresh_vertex rng g ~v ~p ~present =
       let skip = 1 + int_of_float (floor (log1p (-.r) /. log_q)) in
       w := !w + skip;
       if !w >= n then continue := false
-      else if !w <> v && present !w && Undirected.add_edge g v !w then incr added
-    done;
-    !added
+      else if !w <> v && present !w then f !w
+    done
   end
+
+let attach_fresh_vertex rng g ~v ~p ~present =
+  let added = ref 0 in
+  iter_fresh_edges rng ~n:(Undirected.vertex_count g) ~v ~p ~present (fun w ->
+      if Undirected.add_edge g v w then incr added);
+  !added

@@ -33,8 +33,24 @@ val gnp_adjacency : Stratify_prng.Rng.t -> n:int -> p:float -> int array array
     form consumed by matching hot loops (used for Monte-Carlo experiments
     where graph construction dominates). *)
 
+val iter_fresh_edges :
+  Stratify_prng.Rng.t ->
+  n:int ->
+  v:int ->
+  p:float ->
+  present:(int -> bool) ->
+  (int -> unit) ->
+  unit
+(** Sample a fresh Erdős–Rényi arrival's neighbourhood: call [f w] for
+    every vertex [w ≠ v] with [present w] kept independently with
+    probability [p], in increasing order of [w], O(n·p) expected draws.
+    The RNG consumption depends only on [(n, p)] — not on [present] or
+    [f] — so graph-backed and instance-backed consumers stay on
+    identical random trajectories. *)
+
 val attach_fresh_vertex :
   Stratify_prng.Rng.t -> Undirected.t -> v:int -> p:float -> present:(int -> bool) -> int
 (** Re-wire an (isolated) vertex as a fresh Erdős–Rényi arrival: connect [v]
     to every vertex [w ≠ v] with [present w] independently with probability
-    [p].  Returns the number of edges created.  Used by the churn model. *)
+    [p] (via {!iter_fresh_edges}).  Returns the number of edges created.
+    Used by the churn model. *)

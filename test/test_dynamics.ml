@@ -288,6 +288,7 @@ let test_churn_zero_rate_converges () =
       units = 15;
       samples_per_unit = 2;
       strategy = Initiative.Best_mate;
+      scheduler = Scheduler.Random_poll;
     }
   in
   let traj = Churn.run rng params in
@@ -305,6 +306,7 @@ let test_churn_disorder_grows_with_rate () =
         units = 16;
         samples_per_unit = 2;
         strategy = Initiative.Best_mate;
+        scheduler = Scheduler.Random_poll;
       }
     in
     Churn.mean_disorder_tail (Churn.run rng params) ~skip_units:8.
@@ -329,6 +331,7 @@ let test_churn_keeps_population () =
       units = 10;
       samples_per_unit = 1;
       strategy = Initiative.Decremental;
+      scheduler = Scheduler.Random_poll;
     }
   in
   let traj = Churn.run rng params in
@@ -352,6 +355,8 @@ let suite =
     Alcotest.test_case "disorder on peer subsets" `Quick test_disorder_on_subset;
     prop_active_initiatives_never_repeat;
     prop_converges_to_greedy_config;
+    prop_incremental_stability_matches_naive;
+    Alcotest.test_case "run_until_stable timeout" `Quick test_run_until_stable_timeout;
     Alcotest.test_case "Theorem 1 bound scale" `Quick test_theorem1_bound_achievable;
     Alcotest.test_case "trajectory decreases to zero" `Slow test_sim_trajectory_reaches_zero;
     Alcotest.test_case "sim counters" `Quick test_sim_counters;

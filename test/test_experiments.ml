@@ -5,7 +5,16 @@
 
 module E = Stratify_cli.Experiments
 
-let tiny = { E.seed = 7; scale = 0.05; csv_dir = None; jobs = 2; manifest_dir = None; n_override = None }
+let tiny =
+  {
+    E.seed = 7;
+    scale = 0.05;
+    csv_dir = None;
+    jobs = 2;
+    manifest_dir = None;
+    n_override = None;
+    scheduler = Stratify_core.Scheduler.Random_poll;
+  }
 
 let experiment_cases =
   List.map
@@ -32,7 +41,7 @@ let test_registry_lookup () =
 let test_csv_export () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "stratify_test_csv" in
   (match E.find "fig7" with
-  | Some run -> run { E.seed = 7; scale = 0.05; csv_dir = Some dir; jobs = 1; manifest_dir = None; n_override = None }
+  | Some run -> run { tiny with E.csv_dir = Some dir; jobs = 1 }
   | None -> Alcotest.fail "fig7 missing");
   let path = Filename.concat dir "fig7.csv" in
   Alcotest.(check bool) "csv written" true (Sys.file_exists path);

@@ -6,6 +6,7 @@ let () =
       ("stats", Test_stats.suite);
       ("matching", Test_matching.suite);
       ("dynamics", Test_dynamics.suite);
+      ("scheduler", Test_scheduler.suite);
       ("stratification", Test_stratification.suite);
       ("analytic", Test_analytic.suite);
       ("bandwidth", Test_bandwidth.suite);
