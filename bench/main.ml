@@ -26,7 +26,11 @@
                          baseline)
      BENCH_SCHED_OUT=path where to write the scheduler-race run manifest
                          (default BENCH_sched.json — also a checked-in
-                         baseline). *)
+                         baseline)
+     BENCH_NET_OUT=path  where to write the network-dispatch run manifest
+                         (default BENCH_net.json — also a checked-in
+                         baseline; the bench itself fails if fault-free
+                         Net.send exceeds 1.15x the direct dispatch). *)
 
 open Bechamel
 
@@ -897,10 +901,149 @@ let bench_sched () =
   Obs.Run_manifest.write_path out manifest;
   Printf.printf "  wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: stratify.net dispatch overhead                              *)
+
+let bench_net () =
+  print_endline "\n================ Network layer (fault-free Net.send vs Engine.schedule) ================";
+  let module Obs = Stratify_obs in
+  let module Net = Stratify_net.Net in
+  let module Engine = Stratify_des.Engine in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Every Async_dynamics message now crosses Net.send; the fault-free
+     configuration must stay within 1.15x of the direct Engine.schedule
+     path it replaced, or the refactor has a hot-path cost.  Both legs
+     run the identical event cascade: each delivery schedules the next
+     message until the budget is spent. *)
+  let events = 1_000_000 in
+  let run_engine () =
+    let e = Engine.create () in
+    let count = ref 0 in
+    let rec send () =
+      if !count < events then begin
+        incr count;
+        Engine.schedule e ~delay:0.05 (fun _ -> send ())
+      end
+    in
+    send ();
+    ignore (Engine.drain e);
+    !count
+  in
+  let run_net () =
+    let net = Net.create (Rng.create 42) (Net.ideal ~latency:0.05 ()) in
+    let count = ref 0 in
+    let rec send () =
+      if !count < events then begin
+        incr count;
+        Net.send net ~src:(!count land 63) ~dst:((!count + 1) land 63) (fun _ -> send ())
+      end
+    in
+    send ();
+    ignore (Engine.drain (Net.engine net));
+    !count
+  in
+  let best leg =
+    let rec go k acc =
+      if k = 0 then acc
+      else
+        let n, dt = time leg in
+        if n <> events then failwith "bench.net: event count mismatch";
+        go (k - 1) (Float.min acc dt)
+    in
+    go 3 infinity
+  in
+  ignore (run_engine ());
+  (* warm *)
+  let dt_engine = best run_engine in
+  let dt_net = best run_net in
+  let rate_engine = float_of_int events /. dt_engine in
+  let rate_net = float_of_int events /. dt_net in
+  let overhead = dt_net /. dt_engine in
+  Printf.printf "  dispatch cascade (%d events, best of 3):\n" events;
+  Printf.printf "    direct Engine.schedule: %10.2f Mevents/s\n" (rate_engine /. 1e6);
+  Printf.printf "    fault-free Net.send:    %10.2f Mevents/s  (%.3fx overhead)\n%!"
+    (rate_net /. 1e6) overhead;
+  if overhead > 1.15 then
+    failwith
+      (Printf.sprintf
+         "bench.net: fault-free Net.send is %.3fx the direct dispatch (budget 1.15x). \
+          Note: the dev profile compiles with -opaque, which turns the Obs counter probes \
+          into indirect calls and inflates dispatch overhead — run this bench with \
+          `dune exec --profile release bench/main.exe`."
+         overhead);
+
+  (* Determinism checksum: a faulty pipeline (loss + duplication +
+     reordering + a partition window) must deliver the exact same message
+     sequence on every platform.  Hash the delivery order of message ids. *)
+  let trace_events = 50_000 in
+  let net =
+    Net.create (Rng.create 7)
+      {
+        Net.latency = Net.Jitter { base = 0.05; spread = 0.3 };
+        loss = Net.Burst { p_gb = 0.05; p_bg = 0.3; loss_good = 0.02; loss_bad = 0.5 };
+        duplicate = 0.05;
+        reorder = 0.1;
+        reorder_spread = 1.;
+      }
+  in
+  Net.set_partition_schedule net
+    [
+      { Net.at = 100.; groups = Some (Array.init 64 (fun p -> p land 1)) };
+      { Net.at = 300.; groups = None };
+    ];
+  let e = Net.engine net in
+  let h = ref 0x811c9dc5 in
+  for k = 0 to trace_events - 1 do
+    Engine.schedule_at e
+      ~time:(float_of_int k *. 0.01)
+      (fun _ ->
+        Net.send net ~src:(k land 63) ~dst:((k * 7) land 63) (fun _ ->
+            h := ((!h * 16777619) lxor k) land ((1 lsl 50) - 1)))
+  done;
+  ignore (Engine.drain e);
+  let cs_trace = !h in
+  Printf.printf "  faulty-pipeline delivery checksum over %d sends: %d delivered, lost %d, dup %d\n%!"
+    trace_events (Net.delivered net) (Net.lost net) (Net.duplicated net);
+
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  Obs.Counter.add (Obs.Counter.make "checksum.net_trace") cs_trace;
+  Obs.Counter.add (Obs.Counter.make "checksum.net_trace_delivered") (Net.delivered net);
+  Obs.Counter.add (Obs.Counter.make "checksum.net_trace_lost") (Net.lost net);
+  Obs.Counter.add (Obs.Counter.make "checksum.net_trace_partitioned") (Net.partitioned net);
+  Obs.Counter.add (Obs.Counter.make "checksum.net_trace_duplicated") (Net.duplicated net);
+  Obs.Counter.add (Obs.Counter.make "checksum.net_trace_reordered") (Net.reordered net);
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_net" ~seed:42 ~scale:1.0 ~jobs:1
+      ~metrics:
+        [
+          ("events", float_of_int events);
+          ("rate/net_dispatch", rate_net);
+          ("rate/engine_dispatch", rate_engine);
+          ("overhead/fault_free", overhead);
+        ]
+      ()
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_NET_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_net.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
+
 let () =
   if Sys.getenv_opt "BENCH_SKIP_REGEN" = None then regenerate ();
   run_benchmarks ();
   bench_parallel_scaling ();
   bench_core ();
   bench_sched ();
+  bench_net ();
   bench_stability_detection ()

@@ -1,0 +1,57 @@
+(* Run declarative fault-injection scenarios (see lib/net/plan.mli).
+
+   Usage:
+     stratify_plan [--out DIR] PLAN.plan [PLAN.plan ...]
+
+   Each plan is executed, its assertion checks printed, and its run
+   manifest written to DIR (default results/manifests/plans) as
+   <name>-<seed>.json.  Exit status 0 iff every assertion of every plan
+   held.  Manifests are deterministic: two same-seed invocations of the
+   same binary produce byte-identical files, which the scenario-suite CI
+   job pins with a double-run diff. *)
+
+module Plan = Stratify_net_plan.Plan
+module Manifest = Stratify_obs.Run_manifest
+
+let () =
+  let out = ref "results/manifests/plans" in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: dir :: rest ->
+        out := dir;
+        parse rest
+    | "--out" :: [] ->
+        prerr_endline "stratify_plan: --out needs a directory";
+        exit 2
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = List.rev !paths in
+  if paths = [] then begin
+    prerr_endline "usage: stratify_plan [--out DIR] PLAN.plan [PLAN.plan ...]";
+    exit 2
+  end;
+  let failed = ref 0 in
+  List.iter
+    (fun path ->
+      let plan = Plan.load path in
+      let result = Plan.run plan in
+      Printf.printf "%s (%s, seed %d): %s\n" plan.Plan.name path plan.Plan.seed
+        (if result.Plan.passed then "PASS" else "FAIL");
+      List.iter
+        (fun c ->
+          Printf.printf "  %s %s: %s\n"
+            (if c.Plan.ok then "ok  " else "FAIL")
+            c.Plan.label c.Plan.detail)
+        result.Plan.checks;
+      let written = Manifest.write ~dir:!out result.Plan.manifest in
+      Printf.printf "  manifest %s\n" written;
+      if not result.Plan.passed then incr failed)
+    paths;
+  if !failed > 0 then begin
+    Printf.printf "%d plan(s) failed\n" !failed;
+    exit 1
+  end

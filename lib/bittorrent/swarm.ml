@@ -1,6 +1,7 @@
 module Rng = Stratify_prng.Rng
 module Gen = Stratify_graph.Gen
 module Undirected = Stratify_graph.Undirected
+module Net = Stratify_net.Net
 
 type piece_params = {
   pieces : int;
@@ -18,6 +19,7 @@ type params = {
   optimistic_period : int;
   rate_window : int;
   piece : piece_params option;
+  faults : Net.Tick.t option;
 }
 
 let default_params ~uploads =
@@ -30,6 +32,7 @@ let default_params ~uploads =
     optimistic_period = 30;
     rate_window = 10;
     piece = None;
+    faults = None;
   }
 
 type t = {
@@ -148,11 +151,23 @@ let transfer t ~sender ~receiver ~tft amount =
       done
 
 let step t =
+  (match t.params.faults with
+  | Some f -> Net.Tick.advance f ~tick:t.tick
+  | None -> ());
   if t.tick mod t.params.rechoke_period = 0 then rechoke t;
   if t.tick mod t.params.optimistic_period = 0 then rotate_optimistic t;
   (* Collect intended transfers first so that receiver-side (download)
      capacity can throttle proportionally, then apply. *)
   let intents = ref [] in
+  (* A sender splits capacity over its unchoked-and-interested set before
+     the network has its say: a dropped or partitioned link wastes that
+     share for the tick (the sender cannot re-aim mid-tick), exactly like
+     the download-cap surplus below. *)
+  let link_up sender receiver =
+    match t.params.faults with
+    | None -> true
+    | Some f -> Net.Tick.passes f ~tick:t.tick ~src:sender ~dst:receiver
+  in
   Array.iter
     (fun p ->
       let targets =
@@ -164,8 +179,10 @@ let step t =
           let share = p.Peer.upload_capacity /. float_of_int (List.length targets) in
           List.iter
             (fun q ->
-              let tft = List.mem q p.Peer.unchoked in
-              intents := (p.Peer.id, q, tft, share) :: !intents)
+              if link_up p.Peer.id q then begin
+                let tft = List.mem q p.Peer.unchoked in
+                intents := (p.Peer.id, q, tft, share) :: !intents
+              end)
             targets)
     t.peers;
   (match t.params.downloads with
@@ -222,6 +239,9 @@ let recycle_peer t i =
         if other.Peer.optimistic = Some i then other.Peer.optimistic <- None
       end)
     t.peers
+
+let link_drops t =
+  match t.params.faults with None -> 0 | Some f -> Net.Tick.drops f
 
 let completed t =
   Array.fold_left

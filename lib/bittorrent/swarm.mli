@@ -35,11 +35,17 @@ type params = {
   optimistic_period : int;  (** BitTorrent default: 30 *)
   rate_window : int;  (** rate-estimation window, ticks *)
   piece : piece_params option;
+  faults : Stratify_net.Net.Tick.t option;
+      (** tick-level link faults: per-tick per-link loss and scheduled
+          partitions.  A dropped link wastes the sender's share for that
+          tick (capacity is split before the network has its say).  [None]
+          = the historical fault-free swarm, bit-identical and drawing
+          nothing. *)
 }
 
 val default_params : uploads:float array -> params
 (** slots = 3 everywhere, d = 20, periods 10/30, window 10, no pieces, no
-    download caps. *)
+    download caps, no link faults. *)
 
 type t
 
@@ -56,6 +62,9 @@ val run : t -> ticks:int -> unit
 val reset_counters : t -> unit
 (** Zero all cumulative counters — call after warm-up so that measured
     ratios cover the steady state only. *)
+
+val link_drops : t -> int
+(** Transfers suppressed by the fault model so far (0 without [faults]). *)
 
 val completed : t -> int
 (** Number of peers holding the full file (piece mode; [size t] in

@@ -1,21 +1,22 @@
 module Rng = Stratify_prng.Rng
 module Dist = Stratify_prng.Dist
 module Engine = Stratify_des.Engine
+module Net = Stratify_net.Net
 module Series = Stratify_stats.Series
 
 type params = { latency : float; initiative_rate : float; loss : float }
 
 let default_params = { latency = 0.05; initiative_rate = 1.; loss = 0. }
 
+type outcome = Drained | Budget_exhausted
+
 type t = {
   instance : Instance.t;
   params : params;
   rng : Rng.t;
-  engine : Engine.t;
+  net : Net.t;
   mates : int list array;  (* each peer's local belief, sorted by rank *)
   mutable live : bool;  (* initiative clocks active *)
-  mutable sent : int;
-  mutable lost : int;
 }
 
 (* ---- local mate-list operations (always keep |mates| <= b) ---------- *)
@@ -43,15 +44,10 @@ let wants t p q =
 
 (* ---- protocol ------------------------------------------------------ *)
 
-let send t handler = begin
-  t.sent <- t.sent + 1;
-  (* Lossy network: the message silently vanishes with probability
-     [loss]; the keepalive audits are what make the protocol safe under
-     loss. *)
-  if t.params.loss <= 0. || not (Rng.bernoulli t.rng t.params.loss) then
-    Engine.schedule t.engine ~delay:t.params.latency handler
-  else t.lost <- t.lost + 1
-end
+(* Every message now crosses the network layer, which applies partition,
+   loss, latency, reordering and duplication faults; the keepalive audits
+   are what make the protocol safe under all of them. *)
+let send t ~src ~dst handler = Net.send t.net ~src ~dst handler
 
 (* p makes room for a new mate, notifying the evicted peer. *)
 let make_room t p =
@@ -59,7 +55,7 @@ let make_room t p =
     match worst t p with
     | Some w ->
         remove t p w;
-        send t (fun _ -> remove t w p)
+        send t ~src:p ~dst:w (fun _ -> remove t w p)
     | None -> ()
 
 let handle_commit t ~from_:p ~to_:q _engine =
@@ -70,7 +66,7 @@ let handle_commit t ~from_:p ~to_:q _engine =
     make_room t q;
     t.mates.(q) <- insert_sorted p t.mates.(q)
   end
-  else send t (fun _ -> remove t p q)
+  else send t ~src:q ~dst:p (fun _ -> remove t p q)
 
 let handle_accept t ~from_:q ~to_:p _engine =
   (* p re-validates on current state before committing. *)
@@ -78,18 +74,18 @@ let handle_accept t ~from_:q ~to_:p _engine =
   else if wants t p q then begin
     make_room t p;
     t.mates.(p) <- insert_sorted q t.mates.(p);
-    send t (handle_commit t ~from_:p ~to_:q)
+    send t ~src:p ~dst:q (handle_commit t ~from_:p ~to_:q)
   end
 
 let handle_propose t ~from_:p ~to_:q _engine =
-  if wants t q p then send t (handle_accept t ~from_:q ~to_:p)
+  if wants t q p then send t ~src:q ~dst:p (handle_accept t ~from_:q ~to_:p)
 
 let initiative t p =
   let len = Instance.degree t.instance p in
   if len > 0 then begin
     let q = Instance.acceptable_at t.instance p (Rng.int t.rng len) in
     (* Random strategy: propose if q looks attractive on local state. *)
-    if wants t p q then send t (handle_propose t ~from_:p ~to_:q)
+    if wants t p q then send t ~src:p ~dst:q (handle_propose t ~from_:p ~to_:q)
   end;
   (* Keepalive audit: probe one current mate; stale one-sided listings
      (races between crossing retracts and re-adds) get repaired instead of
@@ -98,51 +94,63 @@ let initiative t p =
   | [] -> ()
   | l ->
       let m = List.nth l (Rng.int t.rng (List.length l)) in
-      send t (fun _ ->
+      send t ~src:p ~dst:m (fun _ ->
           (* m answers with its state at probe time... *)
           let mates_at_probe = listed t m p in
-          send t (fun _ ->
+          send t ~src:m ~dst:p (fun _ ->
               (* ...and p acts on the reply (m may have re-added since; its
                  own audits repair the inverse ghost if so). *)
               if (not mates_at_probe) && listed t p m then remove t p m))
 
 let rec arm_clock t p =
   let delay = Dist.exponential t.rng ~rate:t.params.initiative_rate in
-  Engine.schedule t.engine ~delay (fun _ ->
+  Engine.schedule (Net.engine t.net) ~delay (fun _ ->
       if t.live then begin
         initiative t p;
         arm_clock t p
       end)
 
-let create instance rng params =
+let create ?net instance rng params =
   if params.latency < 0. then invalid_arg "Async_dynamics: negative latency";
   if params.initiative_rate <= 0. then invalid_arg "Async_dynamics: rate must be positive";
   if params.loss < 0. || params.loss >= 1. then
     invalid_arg "Async_dynamics: loss must be in [0,1)";
+  let net =
+    match net with
+    | Some n -> n
+    | None ->
+        (* Legacy fault model: constant latency, optional i.i.d. loss.
+           [Iid 0.] and [Constant] draw nothing, so this network is
+           draw-for-draw identical to the old direct-[Engine.schedule]
+           path and preserves goldens bit-for-bit. *)
+        Net.create rng
+          {
+            latency = Net.Constant params.latency;
+            loss = (if params.loss > 0. then Net.Iid params.loss else Net.No_loss);
+            duplicate = 0.;
+            reorder = 0.;
+            reorder_spread = 0.;
+          }
+  in
   let t =
-    {
-      instance;
-      params;
-      rng;
-      engine = Engine.create ();
-      mates = Array.make (Instance.n instance) [];
-      live = true;
-      sent = 0;
-      lost = 0;
-    }
+    { instance; params; rng; net; mates = Array.make (Instance.n instance) []; live = true }
   in
   for p = 0 to Instance.n instance - 1 do
     arm_clock t p
   done;
   t
 
-let time t = Engine.now t.engine
+let net t = t.net
 
-let run t ~horizon = Engine.run_until t.engine ~time:(Engine.now t.engine +. horizon)
+let time t = Engine.now (Net.engine t.net)
 
-let quiesce t =
+let run t ~horizon =
+  let engine = Net.engine t.net in
+  Engine.run_until engine ~time:(Engine.now engine +. horizon)
+
+let quiesce ?max_events t =
   t.live <- false;
-  Engine.drain t.engine
+  if Engine.drain ?max_events (Net.engine t.net) then Drained else Budget_exhausted
 
 let mutual_config t =
   let config = Config.empty t.instance in
@@ -159,8 +167,8 @@ let inconsistency_count t =
     t.mates;
   !count
 
-let messages_sent t = t.sent
-let messages_lost t = t.lost
+let messages_sent t = Net.sent t.net
+let messages_lost t = Net.dropped t.net
 
 let disorder_trajectory t ~stable ~horizon ~samples =
   if samples < 1 then invalid_arg "Async_dynamics.disorder_trajectory: need samples >= 1";
@@ -168,7 +176,7 @@ let disorder_trajectory t ~stable ~horizon ~samples =
   let points = ref [ (0., Disorder.disorder (mutual_config t) ~stable) ] in
   for k = 1 to samples do
     let target = start +. (horizon *. float_of_int k /. float_of_int samples) in
-    Engine.run_until t.engine ~time:target;
+    Engine.run_until (Net.engine t.net) ~time:target;
     points := (target -. start, Disorder.disorder (mutual_config t) ~stable) :: !points
   done;
   Series.make

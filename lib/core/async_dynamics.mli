@@ -5,16 +5,17 @@
     This module implements the dynamics as an actual distributed protocol
     over a discrete-event simulation: peers fire initiatives on
     independent exponential clocks and rewire through a
-    propose/accept/commit handshake whose messages take [latency] time
-    units, so decisions are made on {e stale} state and must be
-    re-validated (with retract/drop compensation) on arrival.
+    propose/accept/commit handshake whose messages cross a
+    {!Stratify_net.Net} network, so decisions are made on {e stale} state
+    and must be re-validated (with retract/drop compensation) on arrival.
 
     Local mate lists can disagree transiently ({e inconsistency}); edges
     both endpoints agree on form the {e mutual configuration}.  The
     protocol is eventually consistent: once initiatives stop and messages
     drain, mate lists are symmetric again.  The [async] experiment
     measures how convergence degrades as latency approaches the initiative
-    period. *)
+    period; the [faults] experiment sweeps loss and latency through the
+    full network layer. *)
 
 type params = {
   latency : float;  (** one-way message delay *)
@@ -25,21 +26,42 @@ type params = {
 val default_params : params
 (** latency 0.05, rate 1 (per time unit), no loss. *)
 
+type outcome =
+  | Drained  (** all in-flight messages processed; mate lists symmetric *)
+  | Budget_exhausted
+      (** the event budget ran out before quiescence — an explicit
+          non-convergence verdict, never silently conflated with success *)
+
 type t
 
-val create : Instance.t -> Stratify_prng.Rng.t -> params -> t
+val create : ?net:Stratify_net.Net.t -> Instance.t -> Stratify_prng.Rng.t -> params -> t
 (** Peers use the paper's {e random} initiative strategy (propose to a
     uniform acceptable peer) — the only one available without a global
-    availability oracle. *)
+    availability oracle.
+
+    Without [?net], messages cross a private fault-free-by-default
+    network built from [params]: constant [latency], i.i.d. [loss] — the
+    legacy fault model, bit-identical to the historical
+    direct-[Engine.schedule] path.  With [?net], all messages route
+    through the given network (its latency/loss/duplication/reordering/
+    partition faults apply; [params.latency] and [params.loss] are
+    ignored) and the dynamics runs on that network's engine — this is how
+    the scenario harness injects faults. *)
+
+val net : t -> Stratify_net.Net.t
+(** The network carrying this instance's messages (the private one if
+    [create] built it). *)
 
 val time : t -> float
 
 val run : t -> horizon:float -> unit
 (** Advance the simulation clock (initiatives keep firing). *)
 
-val quiesce : t -> bool
-(** Stop all initiative clocks and drain in-flight messages.  Returns
-    [false] only if the event budget ran out (should not happen). *)
+val quiesce : ?max_events:int -> t -> outcome
+(** Stop all initiative clocks and drain in-flight messages.
+    [Budget_exhausted] means the [max_events] drain budget (default 10⁷)
+    ran out first — the run did {e not} reach a stable configuration and
+    callers must report it as such. *)
 
 val mutual_config : t -> Config.t
 (** The edges both endpoints currently list. *)
@@ -50,6 +72,7 @@ val inconsistency_count : t -> int
 
 val messages_sent : t -> int
 val messages_lost : t -> int
+(** Messages dropped in transit (loss model + partitions). *)
 
 val disorder_trajectory :
   t -> stable:Config.t -> horizon:float -> samples:int -> Stratify_stats.Series.t

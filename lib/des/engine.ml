@@ -1,14 +1,23 @@
 type t = { queue : (t -> unit) Pqueue.t; mutable clock : float }
 
+(* Bumped when a [drain] call gives up because its event budget ran out —
+   the signal that an event loop fed itself forever.  Callers (e.g.
+   [Async_dynamics.quiesce]) surface it as an explicit non-convergence
+   outcome; the counter makes it visible in run manifests too. *)
+let drain_budget_exhausted = Stratify_obs.Counter.make "des.drain_budget_exhausted"
+
 let create () = { queue = Pqueue.create (); clock = 0. }
 let now t = t.clock
 
 let schedule_at t ~time f =
-  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time t.clock);
   Pqueue.push t.queue ~priority:time f
 
 let schedule t ~delay f =
-  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  if delay < 0. then
+    invalid_arg (Printf.sprintf "Engine.schedule: negative delay %g" delay);
   schedule_at t ~time:(t.clock +. delay) f
 
 let pending t = Pqueue.size t.queue
@@ -22,7 +31,9 @@ let step t =
       true
 
 let run_until t ~time =
-  if time < t.clock then invalid_arg "Engine.run_until: time is in the past";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.run_until: time %g is in the past (now %g)" time t.clock);
   let continue = ref true in
   while !continue do
     match Pqueue.peek t.queue with
@@ -36,4 +47,6 @@ let drain ?(max_events = 10_000_000) t =
   while !budget > 0 && step t do
     decr budget
   done;
-  Pqueue.is_empty t.queue
+  let drained = Pqueue.is_empty t.queue in
+  if not drained then Stratify_obs.Counter.incr drain_budget_exhausted;
+  drained

@@ -14,10 +14,13 @@ val now : t -> float
 (** Current simulated time. *)
 
 val schedule : t -> delay:float -> (t -> unit) -> unit
-(** Run a callback [delay] time units from now ([delay ≥ 0]). *)
+(** Run a callback [delay] time units from now ([delay ≥ 0]).  Raises
+    [Invalid_argument] naming the offending delay otherwise — jittered
+    latency draws that go negative fail loudly, not silently. *)
 
 val schedule_at : t -> time:float -> (t -> unit) -> unit
-(** Absolute-time variant; [time] must not be in the past. *)
+(** Absolute-time variant; [time] must not be in the past.  Raises
+    [Invalid_argument] naming the offending time and the current clock. *)
 
 val pending : t -> int
 
@@ -28,4 +31,6 @@ val run_until : t -> time:float -> unit
 val drain : ?max_events:int -> t -> bool
 (** Process everything left (events may schedule more).  Returns [false]
     if the [max_events] budget (default 10⁷) ran out first — the runaway
-    guard for event loops that feed themselves. *)
+    guard for event loops that feed themselves.  A budget exhaustion also
+    bumps the ["des.drain_budget_exhausted"] observability counter so
+    instrumented runs cannot mistake a truncated drain for quiescence. *)

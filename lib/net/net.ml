@@ -1,0 +1,257 @@
+module Rng = Stratify_prng.Rng
+module Dist = Stratify_prng.Dist
+module Splitmix64 = Stratify_prng.Splitmix64
+module Engine = Stratify_des.Engine
+module Counter = Stratify_obs.Counter
+
+type latency =
+  | Constant of float
+  | Jitter of { base : float; spread : float }
+  | Log_normal of { mu : float; sigma : float }
+
+type loss =
+  | No_loss
+  | Iid of float
+  | Burst of { p_gb : float; p_bg : float; loss_good : float; loss_bad : float }
+
+type faults = {
+  latency : latency;
+  loss : loss;
+  duplicate : float;
+  reorder : float;
+  reorder_spread : float;
+}
+
+let ideal ?(latency = 0.05) () =
+  { latency = Constant latency; loss = No_loss; duplicate = 0.; reorder = 0.; reorder_spread = 0. }
+
+let stationary_loss = function
+  | No_loss -> 0.
+  | Iid p -> Float.max 0. p
+  | Burst { p_gb; p_bg; loss_good; loss_bad } ->
+      if p_gb +. p_bg <= 0. then loss_good
+      else ((p_gb *. loss_bad) +. (p_bg *. loss_good)) /. (p_gb +. p_bg)
+
+type partition_event = { at : float; groups : int array option }
+
+(* Counters are global (per-process) like every other stratify.obs probe;
+   scenario runs reset them per plan. *)
+let c_sent = Counter.make "net.sent"
+let c_delivered = Counter.make "net.delivered"
+let c_lost = Counter.make "net.lost"
+let c_partitioned = Counter.make "net.partitioned"
+let c_duplicated = Counter.make "net.duplicated"
+let c_reordered = Counter.make "net.reordered"
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  faults : faults;
+  (* Fault-free configurations take a precomputed branch in [send] that
+     skips the whole pipeline (no RNG draws either way, so the two paths
+     are trace-identical) — the refactor of Async_dynamics onto Net.send
+     must stay within the bench.net dispatch-overhead budget. *)
+  fast : bool;
+  fast_latency : float;
+  burst_bad : (int * int, bool ref) Hashtbl.t;  (* Gilbert–Elliott link states *)
+  mutable groups : int array option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable partitioned : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+}
+
+let check_prob what p =
+  if p < 0. || p >= 1. then
+    invalid_arg (Printf.sprintf "Net.create: %s must be in [0, 1), got %g" what p)
+
+let validate f =
+  (match f.latency with
+  | Constant l -> if l < 0. then invalid_arg (Printf.sprintf "Net.create: negative latency %g" l)
+  | Jitter { base; spread } ->
+      if base < 0. then invalid_arg (Printf.sprintf "Net.create: negative latency base %g" base);
+      if spread < 0. then invalid_arg (Printf.sprintf "Net.create: negative jitter spread %g" spread)
+  | Log_normal { sigma; _ } ->
+      if sigma < 0. then invalid_arg (Printf.sprintf "Net.create: negative sigma %g" sigma));
+  (match f.loss with
+  | No_loss -> ()
+  | Iid p -> check_prob "loss" p
+  | Burst { p_gb; p_bg; loss_good; loss_bad } ->
+      check_prob "p_gb" p_gb;
+      check_prob "p_bg" p_bg;
+      check_prob "loss_good" loss_good;
+      check_prob "loss_bad" loss_bad);
+  check_prob "duplicate" f.duplicate;
+  check_prob "reorder" f.reorder;
+  if f.reorder_spread < 0. then
+    invalid_arg (Printf.sprintf "Net.create: negative reorder_spread %g" f.reorder_spread)
+
+let create ?engine rng faults =
+  validate faults;
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  let fast, fast_latency =
+    match faults with
+    | { latency = Constant l; loss = No_loss | Iid 0.; duplicate = 0.; reorder = 0.; _ } ->
+        (true, l)
+    | _ -> (false, 0.)
+  in
+  {
+    engine;
+    rng;
+    faults;
+    fast;
+    fast_latency;
+    burst_bad = Hashtbl.create 64;
+    groups = None;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    partitioned = 0;
+    duplicated = 0;
+    reordered = 0;
+  }
+
+let engine t = t.engine
+let faults t = t.faults
+
+let set_partition_schedule t events =
+  List.iter
+    (fun ev -> Engine.schedule_at t.engine ~time:ev.at (fun _ -> t.groups <- ev.groups))
+    events
+
+let reachable t ~src ~dst =
+  match t.groups with None -> true | Some g -> g.(src) = g.(dst)
+
+let drop_by_loss t ~src ~dst =
+  match t.faults.loss with
+  | No_loss -> false
+  | Iid p -> p > 0. && Rng.bernoulli t.rng p
+  | Burst { p_gb; p_bg; loss_good; loss_bad } ->
+      let state =
+        match Hashtbl.find_opt t.burst_bad (src, dst) with
+        | Some s -> s
+        | None ->
+            let s = ref false in
+            Hashtbl.replace t.burst_bad (src, dst) s;
+            s
+      in
+      (state := if !state then not (Rng.bernoulli t.rng p_bg) else Rng.bernoulli t.rng p_gb);
+      let p = if !state then loss_bad else loss_good in
+      p > 0. && Rng.bernoulli t.rng p
+
+let draw_latency t =
+  match t.faults.latency with
+  | Constant l -> l
+  | Jitter { base; spread } -> if spread <= 0. then base else Dist.uniform t.rng ~lo:base ~hi:(base +. spread)
+  | Log_normal { mu; sigma } -> Dist.lognormal t.rng ~mu ~sigma
+
+(* One delivery attempt: latency draw, optional reordering delay, schedule.
+   A scheduled message always runs, so [delivered] is counted here rather
+   than in a wrapper closure at fire time — the hot fault-free path then
+   hands [handler] to the engine untouched, keeping Net.send within its
+   dispatch-overhead budget (see bench.net). *)
+let deliver t handler =
+  let delay = draw_latency t in
+  let delay =
+    if t.faults.reorder > 0. && Rng.bernoulli t.rng t.faults.reorder then begin
+      t.reordered <- t.reordered + 1;
+      Counter.incr c_reordered;
+      delay +. Rng.float t.rng t.faults.reorder_spread
+    end
+    else delay
+  in
+  t.delivered <- t.delivered + 1;
+  Counter.incr c_delivered;
+  Engine.schedule t.engine ~delay handler
+
+let[@inline never] send_slow t ~src ~dst handler =
+  if not (reachable t ~src ~dst) then begin
+    t.partitioned <- t.partitioned + 1;
+    Counter.incr c_partitioned
+  end
+  else if drop_by_loss t ~src ~dst then begin
+    t.lost <- t.lost + 1;
+    Counter.incr c_lost
+  end
+  else begin
+    deliver t handler;
+    if t.faults.duplicate > 0. && Rng.bernoulli t.rng t.faults.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      Counter.incr c_duplicated;
+      deliver t handler
+    end
+  end
+
+let[@inline always] send t ~src ~dst handler =
+  t.sent <- t.sent + 1;
+  Counter.incr c_sent;
+  if t.fast && t.groups == None then begin
+    t.delivered <- t.delivered + 1;
+    Counter.incr c_delivered;
+    Engine.schedule t.engine ~delay:t.fast_latency handler
+  end
+  else send_slow t ~src ~dst handler
+
+let sent t = t.sent
+let delivered t = t.delivered
+let lost t = t.lost
+let partitioned t = t.partitioned
+let dropped t = t.lost + t.partitioned
+let duplicated t = t.duplicated
+let reordered t = t.reordered
+
+(* ------------------------------------------------------------------ *)
+
+module Tick = struct
+  type event = { at_tick : int; groups : int array option }
+
+  type t = {
+    base : int64;
+    loss : float;
+    mutable pending : event list;  (* sorted by at_tick *)
+    mutable groups : int array option;
+    mutable drops : int;
+  }
+
+  let c_tick_drops = Counter.make "net.tick_drops"
+
+  let create ~seed ~loss ?(schedule = []) () =
+    if loss < 0. || loss >= 1. then
+      invalid_arg (Printf.sprintf "Net.Tick.create: loss must be in [0, 1), got %g" loss);
+    let pending = List.sort (fun a b -> compare a.at_tick b.at_tick) schedule in
+    { base = Splitmix64.mix (Int64.of_int seed); loss; pending; groups = None; drops = 0 }
+
+  let advance t ~tick =
+    let rec go = function
+      | ev :: rest when ev.at_tick <= tick ->
+          t.groups <- ev.groups;
+          go rest
+      | rest -> t.pending <- rest
+    in
+    go t.pending
+
+  let connected t ~src ~dst =
+    match t.groups with None -> true | Some g -> g.(src) = g.(dst)
+
+  (* Counter-mode draw: hash (seed, tick, src, dst) to a u53 uniform.
+     No state advances, so the verdict for a link does not depend on how
+     many other links were asked first. *)
+  let unit_float t ~tick ~src ~dst =
+    let key = Int64.of_int ((((tick * 1_000_003) + src) * 1_000_003) + dst) in
+    let h = Splitmix64.mix (Int64.logxor t.base (Splitmix64.mix key)) in
+    Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+  let passes t ~tick ~src ~dst =
+    let ok =
+      connected t ~src ~dst && (t.loss <= 0. || unit_float t ~tick ~src ~dst >= t.loss)
+    in
+    if not ok then begin
+      t.drops <- t.drops + 1;
+      Counter.incr c_tick_drops
+    end;
+    ok
+
+  let drops t = t.drops
+end

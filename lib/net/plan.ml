@@ -1,0 +1,485 @@
+module Jsonx = Stratify_obs.Jsonx
+module Manifest = Stratify_obs.Run_manifest
+module Counter = Stratify_obs.Counter
+module Rng = Stratify_prng.Rng
+module Gen = Stratify_graph.Gen
+module Net = Stratify_net.Net
+module Swarm = Stratify_bittorrent.Swarm
+module Bt_metrics = Stratify_bittorrent.Metrics
+module Profile = Stratify_bandwidth.Profile
+module Saroiu = Stratify_bandwidth.Saroiu
+open Stratify_core
+
+type latency_spec =
+  | Constant of float
+  | Jitter of { base : float; spread : float }
+  | Log_normal of { mu : float; sigma : float }
+
+type loss_spec =
+  | No_loss
+  | Iid of float
+  | Burst of { p_gb : float; p_bg : float; loss_good : float; loss_bad : float }
+
+type net_spec = {
+  latency : latency_spec;
+  loss : loss_spec;
+  duplicate : float;
+  reorder : float;
+  reorder_spread : float;
+}
+
+type groups_spec = Halves | Groups of int array | Heal
+
+type partition_spec = { at : float; groups : groups_spec }
+
+type workload =
+  | Async of { n : int; d : float; b : int; horizon : float; initiative_rate : float }
+  | Swarm of { n : int; d : float; ticks : int; warmup : int }
+
+type assertion =
+  | Drained
+  | Final_disorder_below of float
+  | Inconsistency_below of int
+  | Converged_by of { deadline : float; disorder_below : float }
+  | Stratification_within of float
+
+type t = {
+  name : string;
+  seed : int;
+  workload : workload;
+  net : net_spec;
+  partitions : partition_spec list;
+  assertions : assertion list;
+}
+
+(* ---- JSON ---------------------------------------------------------- *)
+
+let parse_fail fmt = Printf.ksprintf (fun s -> raise (Jsonx.Parse_error s)) fmt
+
+let req name j =
+  match Jsonx.member name j with
+  | Jsonx.Null -> parse_fail "plan: missing field %S" name
+  | v -> v
+
+let opt_float name ~default j =
+  match Jsonx.member name j with Jsonx.Null -> default | v -> Jsonx.get_float v
+
+let opt_int name ~default j =
+  match Jsonx.member name j with Jsonx.Null -> default | v -> Jsonx.get_int v
+
+let latency_of_json j =
+  match Jsonx.get_string (req "kind" j) with
+  | "constant" -> Constant (Jsonx.get_float (req "value" j))
+  | "jitter" ->
+      Jitter { base = Jsonx.get_float (req "base" j); spread = Jsonx.get_float (req "spread" j) }
+  | "lognormal" ->
+      Log_normal { mu = Jsonx.get_float (req "mu" j); sigma = Jsonx.get_float (req "sigma" j) }
+  | k -> parse_fail "plan: unknown latency kind %S" k
+
+let loss_of_json j =
+  match Jsonx.get_string (req "kind" j) with
+  | "none" -> No_loss
+  | "iid" -> Iid (Jsonx.get_float (req "p" j))
+  | "burst" ->
+      Burst
+        {
+          p_gb = Jsonx.get_float (req "p_gb" j);
+          p_bg = Jsonx.get_float (req "p_bg" j);
+          loss_good = opt_float "loss_good" ~default:0. j;
+          loss_bad = Jsonx.get_float (req "loss_bad" j);
+        }
+  | k -> parse_fail "plan: unknown loss kind %S" k
+
+let default_net =
+  { latency = Constant 0.05; loss = No_loss; duplicate = 0.; reorder = 0.; reorder_spread = 0. }
+
+let net_of_json j =
+  match j with
+  | Jsonx.Null -> default_net
+  | _ ->
+      {
+        latency =
+          (match Jsonx.member "latency" j with
+          | Jsonx.Null -> default_net.latency
+          | l -> latency_of_json l);
+        loss =
+          (match Jsonx.member "loss" j with Jsonx.Null -> No_loss | l -> loss_of_json l);
+        duplicate = opt_float "duplicate" ~default:0. j;
+        reorder = opt_float "reorder" ~default:0. j;
+        reorder_spread = opt_float "reorder_spread" ~default:0. j;
+      }
+
+let groups_of_json = function
+  | Jsonx.String "halves" -> Halves
+  | Jsonx.String "heal" -> Heal
+  | Jsonx.List l -> Groups (Array.of_list (List.map Jsonx.get_int l))
+  | Jsonx.String s -> parse_fail "plan: unknown groups %S (want \"halves\", \"heal\" or a list)" s
+  | _ -> parse_fail "plan: groups must be \"halves\", \"heal\" or a list of ints"
+
+let partition_of_json j =
+  { at = Jsonx.get_float (req "at" j); groups = groups_of_json (req "groups" j) }
+
+let workload_of_json j =
+  match Jsonx.get_string (req "kind" j) with
+  | "async" ->
+      Async
+        {
+          n = Jsonx.get_int (req "n" j);
+          d = opt_float "d" ~default:10. j;
+          b = opt_int "b" ~default:1 j;
+          horizon = opt_float "horizon" ~default:100. j;
+          initiative_rate = opt_float "initiative_rate" ~default:1. j;
+        }
+  | "swarm" ->
+      Swarm
+        {
+          n = Jsonx.get_int (req "n" j);
+          d = opt_float "d" ~default:20. j;
+          ticks = opt_int "ticks" ~default:2000 j;
+          warmup = opt_int "warmup" ~default:500 j;
+        }
+  | k -> parse_fail "plan: unknown workload kind %S" k
+
+let assertion_of_json j =
+  match Jsonx.get_string (req "kind" j) with
+  | "drained" -> Drained
+  | "final_disorder_below" -> Final_disorder_below (Jsonx.get_float (req "value" j))
+  | "inconsistency_below" -> Inconsistency_below (Jsonx.get_int (req "value" j))
+  | "converged_by" ->
+      Converged_by
+        {
+          deadline = Jsonx.get_float (req "deadline" j);
+          disorder_below = Jsonx.get_float (req "disorder_below" j);
+        }
+  | "stratification_within" -> Stratification_within (Jsonx.get_float (req "tolerance" j))
+  | k -> parse_fail "plan: unknown assertion kind %S" k
+
+let validate t =
+  let async_only what =
+    match t.workload with
+    | Async _ -> ()
+    | Swarm _ -> invalid_arg (Printf.sprintf "plan %s: %s applies to async workloads only" t.name what)
+  in
+  (match t.workload with
+  | Async { n; horizon; initiative_rate; _ } ->
+      if n < 2 then invalid_arg (Printf.sprintf "plan %s: need n >= 2" t.name);
+      if horizon <= 0. then invalid_arg (Printf.sprintf "plan %s: horizon must be positive" t.name);
+      if initiative_rate <= 0. then
+        invalid_arg (Printf.sprintf "plan %s: initiative_rate must be positive" t.name)
+  | Swarm { n; ticks; warmup; _ } ->
+      if n < 2 then invalid_arg (Printf.sprintf "plan %s: need n >= 2" t.name);
+      if warmup < 0 || warmup >= ticks then
+        invalid_arg (Printf.sprintf "plan %s: need 0 <= warmup < ticks" t.name));
+  List.iter
+    (function
+      | Drained -> async_only "\"drained\""
+      | Final_disorder_below _ -> async_only "\"final_disorder_below\""
+      | Inconsistency_below _ -> async_only "\"inconsistency_below\""
+      | Converged_by { deadline; _ } ->
+          async_only "\"converged_by\"";
+          (match t.workload with
+          | Async { horizon; _ } when deadline > horizon ->
+              invalid_arg
+                (Printf.sprintf "plan %s: converged_by deadline %g beyond horizon %g" t.name
+                   deadline horizon)
+          | _ -> ())
+      | Stratification_within _ -> (
+          match t.workload with
+          | Swarm _ -> ()
+          | Async _ ->
+              invalid_arg
+                (Printf.sprintf "plan %s: \"stratification_within\" applies to swarm workloads only"
+                   t.name)))
+    t.assertions;
+  List.iter
+    (fun p ->
+      if p.at < 0. then invalid_arg (Printf.sprintf "plan %s: partition at %g < 0" t.name p.at))
+    t.partitions;
+  t
+
+let of_json j =
+  validate
+    {
+      name = Jsonx.get_string (req "name" j);
+      seed = opt_int "seed" ~default:42 j;
+      workload = workload_of_json (req "workload" j);
+      net = net_of_json (Jsonx.member "net" j);
+      partitions =
+        (match Jsonx.member "partitions" j with
+        | Jsonx.Null -> []
+        | l -> List.map partition_of_json (Jsonx.get_list l));
+      assertions = List.map assertion_of_json (Jsonx.get_list (req "assertions" j));
+    }
+
+let latency_to_json = function
+  | Constant v -> Jsonx.Obj [ ("kind", Jsonx.String "constant"); ("value", Jsonx.Float v) ]
+  | Jitter { base; spread } ->
+      Jsonx.Obj
+        [ ("kind", Jsonx.String "jitter"); ("base", Jsonx.Float base); ("spread", Jsonx.Float spread) ]
+  | Log_normal { mu; sigma } ->
+      Jsonx.Obj
+        [ ("kind", Jsonx.String "lognormal"); ("mu", Jsonx.Float mu); ("sigma", Jsonx.Float sigma) ]
+
+let loss_to_json = function
+  | No_loss -> Jsonx.Obj [ ("kind", Jsonx.String "none") ]
+  | Iid p -> Jsonx.Obj [ ("kind", Jsonx.String "iid"); ("p", Jsonx.Float p) ]
+  | Burst { p_gb; p_bg; loss_good; loss_bad } ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.String "burst");
+          ("p_gb", Jsonx.Float p_gb);
+          ("p_bg", Jsonx.Float p_bg);
+          ("loss_good", Jsonx.Float loss_good);
+          ("loss_bad", Jsonx.Float loss_bad);
+        ]
+
+let groups_to_json = function
+  | Halves -> Jsonx.String "halves"
+  | Heal -> Jsonx.String "heal"
+  | Groups g -> Jsonx.List (Array.to_list (Array.map (fun x -> Jsonx.Int x) g))
+
+let workload_to_json = function
+  | Async { n; d; b; horizon; initiative_rate } ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.String "async");
+          ("n", Jsonx.Int n);
+          ("d", Jsonx.Float d);
+          ("b", Jsonx.Int b);
+          ("horizon", Jsonx.Float horizon);
+          ("initiative_rate", Jsonx.Float initiative_rate);
+        ]
+  | Swarm { n; d; ticks; warmup } ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.String "swarm");
+          ("n", Jsonx.Int n);
+          ("d", Jsonx.Float d);
+          ("ticks", Jsonx.Int ticks);
+          ("warmup", Jsonx.Int warmup);
+        ]
+
+let assertion_to_json = function
+  | Drained -> Jsonx.Obj [ ("kind", Jsonx.String "drained") ]
+  | Final_disorder_below v ->
+      Jsonx.Obj [ ("kind", Jsonx.String "final_disorder_below"); ("value", Jsonx.Float v) ]
+  | Inconsistency_below v ->
+      Jsonx.Obj [ ("kind", Jsonx.String "inconsistency_below"); ("value", Jsonx.Int v) ]
+  | Converged_by { deadline; disorder_below } ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.String "converged_by");
+          ("deadline", Jsonx.Float deadline);
+          ("disorder_below", Jsonx.Float disorder_below);
+        ]
+  | Stratification_within tol ->
+      Jsonx.Obj [ ("kind", Jsonx.String "stratification_within"); ("tolerance", Jsonx.Float tol) ]
+
+let to_json t =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.String t.name);
+      ("seed", Jsonx.Int t.seed);
+      ("workload", workload_to_json t.workload);
+      ( "net",
+        Jsonx.Obj
+          [
+            ("latency", latency_to_json t.net.latency);
+            ("loss", loss_to_json t.net.loss);
+            ("duplicate", Jsonx.Float t.net.duplicate);
+            ("reorder", Jsonx.Float t.net.reorder);
+            ("reorder_spread", Jsonx.Float t.net.reorder_spread);
+          ] );
+      ( "partitions",
+        Jsonx.List
+          (List.map
+             (fun p -> Jsonx.Obj [ ("at", Jsonx.Float p.at); ("groups", groups_to_json p.groups) ])
+             t.partitions) );
+      ("assertions", Jsonx.List (List.map assertion_to_json t.assertions));
+    ]
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_json (Jsonx.of_string s)
+
+(* ---- execution ----------------------------------------------------- *)
+
+type check = { label : string; ok : bool; detail : string }
+
+type result = {
+  plan : t;
+  passed : bool;
+  checks : check list;
+  manifest : Manifest.t;
+}
+
+let c_checks_passed = Counter.make "plan.checks_passed"
+let c_checks_failed = Counter.make "plan.checks_failed"
+let c_disorder_scaled = Counter.make "plan.final_disorder_x1e6"
+let c_incons = Counter.make "plan.inconsistency"
+let c_drained = Counter.make "plan.drained"
+let c_strat_scaled = Counter.make "plan.strat_plus1_x1e6"
+
+let net_loss = function
+  | No_loss -> Net.No_loss
+  | Iid p -> Net.Iid p
+  | Burst { p_gb; p_bg; loss_good; loss_bad } -> Net.Burst { p_gb; p_bg; loss_good; loss_bad }
+
+let net_faults (s : net_spec) : Net.faults =
+  {
+    latency =
+      (match s.latency with
+      | Constant v -> Net.Constant v
+      | Jitter { base; spread } -> Net.Jitter { base; spread }
+      | Log_normal { mu; sigma } -> Net.Log_normal { mu; sigma });
+    loss = net_loss s.loss;
+    duplicate = s.duplicate;
+    reorder = s.reorder;
+    reorder_spread = s.reorder_spread;
+  }
+
+let resolve_groups n = function
+  | Heal -> None
+  | Halves -> Some (Array.init n (fun p -> if p < n / 2 then 0 else 1))
+  | Groups g ->
+      if Array.length g <> n then
+        invalid_arg (Printf.sprintf "plan: groups array has %d entries for %d peers" (Array.length g) n);
+      Some g
+
+let pass_fail label ok detail = { label; ok; detail }
+
+let run_async plan ~n ~d ~b ~horizon ~initiative_rate =
+  let rng = Rng.create plan.seed in
+  let graph = Gen.gnd rng ~n ~d in
+  let inst = Instance.create ~graph ~b:(Array.make n b) () in
+  let stable = Greedy.stable_config inst in
+  let net = Net.create rng (net_faults plan.net) in
+  Net.set_partition_schedule net
+    (List.map (fun p -> { Net.at = p.at; groups = resolve_groups n p.groups }) plan.partitions);
+  let a = Async_dynamics.create ~net inst rng { Async_dynamics.latency = 0.; initiative_rate; loss = 0. } in
+  let disorder_now () = Disorder.disorder (Async_dynamics.mutual_config a) ~stable in
+  (* Run piecewise so converged-by deadlines can be sampled in passing. *)
+  let deadlines =
+    List.filter_map (function Converged_by { deadline; _ } -> Some deadline | _ -> None)
+      plan.assertions
+    |> List.sort_uniq compare
+  in
+  let sampled = Hashtbl.create 4 in
+  let now =
+    List.fold_left
+      (fun now deadline ->
+        Async_dynamics.run a ~horizon:(deadline -. now);
+        Hashtbl.replace sampled deadline (disorder_now ());
+        deadline)
+      0. deadlines
+  in
+  if horizon > now then Async_dynamics.run a ~horizon:(horizon -. now);
+  let outcome = Async_dynamics.quiesce a in
+  let final_disorder = disorder_now () in
+  let incons = Async_dynamics.inconsistency_count a in
+  Counter.add c_disorder_scaled (int_of_float (final_disorder *. 1e6));
+  Counter.add c_incons incons;
+  if outcome = Async_dynamics.Drained then Counter.incr c_drained;
+  let checks =
+    List.map
+      (function
+        | Drained ->
+            pass_fail "drained"
+              (outcome = Async_dynamics.Drained)
+              (match outcome with
+              | Async_dynamics.Drained -> "all in-flight messages drained"
+              | Async_dynamics.Budget_exhausted -> "event budget exhausted before quiescence")
+        | Final_disorder_below bound ->
+            pass_fail "final_disorder_below"
+              (final_disorder <= bound)
+              (Printf.sprintf "disorder %.6f vs bound %g" final_disorder bound)
+        | Inconsistency_below bound ->
+            pass_fail "inconsistency_below" (incons <= bound)
+              (Printf.sprintf "%d one-sided listings vs bound %d" incons bound)
+        | Converged_by { deadline; disorder_below } ->
+            let v = Hashtbl.find sampled deadline in
+            pass_fail "converged_by"
+              (v <= disorder_below)
+              (Printf.sprintf "disorder %.6f at t=%g vs bound %g" v deadline disorder_below)
+        | Stratification_within _ -> assert false (* rejected by validate *))
+      plan.assertions
+  in
+  (checks, [ ("final_disorder", final_disorder) ])
+
+let run_swarm plan ~n ~d ~ticks ~warmup =
+  (* A tick has no sub-tick timing, so a burst model collapses to its
+     stationary rate. *)
+  let loss = Net.stationary_loss (net_loss plan.net.loss) in
+  let schedule =
+    List.map
+      (fun p -> { Net.Tick.at_tick = int_of_float p.at; groups = resolve_groups n p.groups })
+      plan.partitions
+  in
+  let build ~faulty =
+    let rng = Rng.create plan.seed in
+    let uploads = Profile.rank_bandwidths Saroiu.profile ~n in
+    let faults =
+      if faulty && (loss > 0. || schedule <> []) then
+        Some (Net.Tick.create ~seed:plan.seed ~loss ~schedule ())
+      else None
+    in
+    let swarm = Swarm.create rng { (Swarm.default_params ~uploads) with Swarm.d; faults } in
+    Swarm.run swarm ~ticks:warmup;
+    Swarm.reset_counters swarm;
+    Swarm.run swarm ~ticks:(ticks - warmup);
+    swarm
+  in
+  let swarm = build ~faulty:true in
+  let strat = Bt_metrics.stratification_correlation swarm in
+  Counter.add c_strat_scaled (int_of_float ((strat +. 1.) *. 1e6));
+  let baseline =
+    if List.exists (function Stratification_within _ -> true | _ -> false) plan.assertions then
+      Some (Bt_metrics.stratification_correlation (build ~faulty:false))
+    else None
+  in
+  let checks =
+    List.map
+      (function
+        | Stratification_within tol ->
+            let base = Option.get baseline in
+            pass_fail "stratification_within"
+              (Float.abs (strat -. base) <= tol)
+              (Printf.sprintf "stratification %.4f vs fault-free %.4f (tolerance %g)" strat base tol)
+        | _ -> assert false (* rejected by validate *))
+      plan.assertions
+  in
+  let metrics =
+    ("stratification", strat)
+    :: (match baseline with None -> [] | Some b -> [ ("baseline_stratification", b) ])
+  in
+  (checks, metrics)
+
+let run plan =
+  let module Obs = Stratify_obs in
+  Obs.Counter.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  let checks, metrics =
+    Fun.protect
+      ~finally:(fun () -> Obs.Control.set_enabled false)
+      (fun () ->
+        match plan.workload with
+        | Async { n; d; b; horizon; initiative_rate } ->
+            run_async plan ~n ~d ~b ~horizon ~initiative_rate
+        | Swarm { n; d; ticks; warmup } -> run_swarm plan ~n ~d ~ticks ~warmup)
+  in
+  Obs.Control.with_enabled true (fun () ->
+      List.iter
+        (fun c -> Counter.incr (if c.ok then c_checks_passed else c_checks_failed))
+        checks);
+  (* No Span phases are opened above, so the manifest has no wall-clock
+     content: every field is a deterministic function of the plan. *)
+  let manifest =
+    Obs.Control.with_enabled true (fun () ->
+        Manifest.capture ~kind:"scenario" ~name:plan.name ~seed:plan.seed ~scale:1.0 ~jobs:1
+          ~metrics ())
+  in
+  { plan; passed = List.for_all (fun c -> c.ok) checks; checks; manifest }

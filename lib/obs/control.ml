@@ -1,5 +1,9 @@
 let flag = Atomic.make false
-let enabled () = Atomic.get flag
+
+(* [@inline always]: counters/histograms call this on simulation hot
+   paths (every Net.send, every engine event); left as a cross-module
+   call it dominates their disabled-case cost (see bench.net). *)
+let[@inline always] enabled () = Atomic.get flag
 let set_enabled b = Atomic.set flag b
 
 let with_enabled b f =

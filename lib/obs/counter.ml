@@ -13,7 +13,10 @@ let make name =
           c)
 
 let name t = t.name
-let incr t = if Control.enabled () then Atomic.incr t.cell
+
+(* Inlined so the disabled case costs one load + branch at the call
+   site — probes sit on hot paths (Net.send, engine dispatch). *)
+let[@inline always] incr t = if Control.enabled () then Atomic.incr t.cell
 
 let add t k =
   if k < 0 then invalid_arg "Obs.Counter.add: negative increment";

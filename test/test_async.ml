@@ -93,10 +93,12 @@ let test_engine_runaway_guard () =
 
 let test_engine_guards () =
   let e = Engine.create () in
-  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay -1")
     (fun () -> Engine.schedule e ~delay:(-1.) (fun _ -> ()));
   Engine.run_until e ~time:5.;
-  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time is in the past")
+  Alcotest.check_raises "past"
+    (Invalid_argument "Engine.schedule_at: time 1 is in the past (now 5)")
     (fun () -> Engine.schedule_at e ~time:1. (fun _ -> ()))
 
 (* ------------------------------------------------------------------ *)
@@ -110,10 +112,13 @@ let async_world ?(n = 150) ?(d = 10.) ?(seed = 42) ?(loss = 0.) ~latency () =
   let a = Async_dynamics.create inst rng { Async_dynamics.latency; initiative_rate = 1.; loss } in
   (inst, stable, a)
 
+let check_drains msg a =
+  Alcotest.(check bool) msg true (Async_dynamics.quiesce a = Async_dynamics.Drained)
+
 let test_async_low_latency_converges () =
   let _, stable, a = async_world ~latency:0.05 () in
   Async_dynamics.run a ~horizon:120.;
-  Alcotest.(check bool) "drains" true (Async_dynamics.quiesce a);
+  check_drains "drains" a;
   let final = Async_dynamics.mutual_config a in
   Alcotest.(check int) "no inconsistency" 0 (Async_dynamics.inconsistency_count a);
   Helpers.check_close "reaches the stable configuration" 0.
@@ -138,7 +143,7 @@ let test_async_eventual_consistency () =
      one-sided listings (keepalive audits repair the rest while live). *)
   let _, _, a = async_world ~latency:5. ~seed:7 () in
   Async_dynamics.run a ~horizon:150.;
-  Alcotest.(check bool) "drains" true (Async_dynamics.quiesce a);
+  check_drains "drains" a;
   let incons = Async_dynamics.inconsistency_count a in
   Alcotest.(check bool) (Printf.sprintf "inconsistency %d <= 4" incons) true (incons <= 4)
 
@@ -172,7 +177,7 @@ let test_async_message_loss () =
      configuration, with losses actually recorded. *)
   let _, stable, a = async_world ~latency:0.1 ~loss:0.15 ~seed:13 () in
   Async_dynamics.run a ~horizon:250.;
-  Alcotest.(check bool) "drains" true (Async_dynamics.quiesce a);
+  check_drains "drains" a;
   Alcotest.(check bool) "losses happened" true (Async_dynamics.messages_lost a > 100);
   let disorder = Disorder.disorder (Async_dynamics.mutual_config a) ~stable in
   Alcotest.(check bool)

@@ -14,6 +14,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("applications", Test_applications.suite);
       ("async", Test_async.suite);
+      ("net", Test_net.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);
