@@ -30,7 +30,12 @@
      BENCH_NET_OUT=path  where to write the network-dispatch run manifest
                          (default BENCH_net.json — also a checked-in
                          baseline; the bench itself fails if fault-free
-                         Net.send exceeds 1.15x the direct dispatch). *)
+                         Net.send exceeds 1.15x the direct dispatch)
+     BENCH_SHARD_OUT=path where to write the sharded-matching run manifest
+                         (default BENCH_shard.json — also a checked-in
+                         baseline; the bench asserts band-count
+                         invariance in-process and, when enough cores
+                         exist, the parallel speedup at 8 bands). *)
 
 open Bechamel
 
@@ -66,6 +71,8 @@ let regenerate () =
       manifest_dir = None;
       n_override = None;
       scheduler = Scheduler.Random_poll;
+      bands = 1;
+      band_overlap = None;
     }
   in
   Printf.printf "Regenerating all tables and figures (scale %g, jobs %d)\n%!" scale jobs;
@@ -243,7 +250,7 @@ let bench_piece_tick =
 let bench_streaming =
   let rng = Rng.create 15 in
   let b = Normal_b.rounded_normal rng ~n:2000 ~mean:8. ~sigma:0.5 in
-  let adjacency = Cluster.collaboration_graph ~b in
+  let adjacency = Cluster.collaboration_graph ~b () in
   Test.make ~name:"streaming: delay measurement (n=2000)"
     (Staged.stage (fun () -> ignore (Streaming.measure ~adjacency ~sources:[ 0 ])))
 
@@ -1039,6 +1046,98 @@ let bench_net () =
   Obs.Run_manifest.write_path out manifest;
   Printf.printf "  wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: rank-banded sharded matching                                *)
+
+let bench_shard () =
+  print_endline "\n================ Sharded matching (rank bands over the domain pool) ================";
+  let module Obs = Stratify_obs in
+  let n = 1_000_000 and b0 = 3 in
+  let inst = Instance.complete ~n ~b:(Array.make n b0) () in
+  let jobs = Exec.default_jobs () in
+  let cores = Domain.recommended_domain_count () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* bands = 1 short-circuits to the plain greedy — that IS the
+     baseline the speedups are measured against. *)
+  let runs =
+    List.map
+      (fun bands ->
+        let config, dt = time (fun () -> Shard.stable_config ~jobs ~bands inst) in
+        let cs = fnv_pairs (fun f -> Config.iter_pairs f config) in
+        let edges = Config.edge_count config in
+        Printf.printf "  bands=%d jobs=%d: %6.3f s  (%d edges, checksum %d)\n%!" bands jobs dt
+          edges cs;
+        (bands, dt, cs, edges))
+      [ 1; 2; 4; 8 ]
+  in
+  (* Band-count invariance (Theorem 1's uniqueness), asserted in
+     process before anything is written. *)
+  let _, base_dt, base_cs, base_edges = List.hd runs in
+  List.iter
+    (fun (bands, _, cs, edges) ->
+      if cs <> base_cs || edges <> base_edges then
+        failwith (Printf.sprintf "bench.shard: %d-band configuration diverged" bands))
+    runs;
+  let wall bands =
+    match List.find_opt (fun (b, _, _, _) -> b = bands) runs with
+    | Some (_, dt, _, _) -> dt
+    | None -> base_dt
+  in
+  let s4 = base_dt /. wall 4 and s8 = base_dt /. wall 8 in
+  Printf.printf "  speedup vs 1 band: x%.2f at 4 bands, x%.2f at 8 bands (%d cores)\n%!" s4 s8
+    cores;
+  (* The speedup gate needs the cores to exist: near-linear scaling in
+     bands means >= 3x at 8 bands on a >= 8-core host and a softer bar
+     at 4; below that only invariance is asserted (a 1-core runner
+     cannot measure parallelism, and the rate/* metrics below still
+     catch gross serial regressions via --max-slowdown). *)
+  if cores >= 8 && s8 < 3. then
+    failwith
+      (Printf.sprintf "bench.shard: %.2fx speedup at 8 bands on %d cores (need >= 3x)" s8 cores);
+  if cores >= 4 && cores < 8 && s4 < 1.5 then
+    failwith
+      (Printf.sprintf "bench.shard: %.2fx speedup at 4 bands on %d cores (need >= 1.5x)" s4 cores);
+  if cores < 4 then
+    Printf.printf "  (%d cores: speedup gate skipped, invariance still asserted)\n%!" cores;
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  Obs.Counter.add (Obs.Counter.make "checksum.shard_config") base_cs;
+  Obs.Counter.add (Obs.Counter.make "checksum.shard_edges") base_edges;
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_shard" ~seed:42 ~scale:1.0 ~jobs
+      ~metrics:
+        (List.concat_map
+           (fun (bands, dt, _, edges) ->
+             [
+               (Printf.sprintf "shard/wall_bands_%d_s" bands, dt);
+               (Printf.sprintf "rate/shard_bands_%d" bands, float_of_int edges /. dt);
+             ])
+           runs
+        @ [
+            ("shard/n", float_of_int n);
+            ("shard/b0", float_of_int b0);
+            ("shard/jobs", float_of_int jobs);
+            ("shard/cores", float_of_int cores);
+            ("shard/speedup_4", s4);
+            ("shard/speedup_8", s8);
+          ])
+      ()
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_SHARD_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_shard.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
+
 let () =
   if Sys.getenv_opt "BENCH_SKIP_REGEN" = None then regenerate ();
   run_benchmarks ();
@@ -1046,4 +1145,5 @@ let () =
   bench_core ();
   bench_sched ();
   bench_net ();
+  bench_shard ();
   bench_stability_detection ()

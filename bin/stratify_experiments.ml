@@ -57,6 +57,24 @@ let scheduler_arg =
         Stratify_core.Scheduler.Random_poll
     & info [ "scheduler" ] ~docv:"POLICY" ~doc)
 
+let bands_arg =
+  let doc =
+    "Rank bands for the complete-acceptance-graph matchings (fig4, table1, fig6, scaling): the \
+     population splits into BANDS overlapping rank intervals solved independently on the --jobs \
+     domain pool, with a deterministic worklist fixup reconciling the boundaries.  The result is \
+     bit-identical for every band count (Theorem 1's uniqueness); more bands means more \
+     parallelism at 10^6-10^7 peers."
+  in
+  Arg.(value & opt int 1 & info [ "bands" ] ~docv:"BANDS" ~doc)
+
+let band_overlap_arg =
+  let doc =
+    "Extension width of each rank band, in ranks.  Defaults to the concentration bound of the \
+     paper's Section 4 (~(3/4)*b0 padded by one cluster width).  Any value >= 0 yields the same \
+     matching; smaller overlaps only shift work into the boundary fixup."
+  in
+  Arg.(value & opt (some int) None & info [ "band-overlap" ] ~docv:"RANKS" ~doc)
+
 let manifest_arg =
   let doc =
     "Directory to write one JSON run manifest per experiment (created if missing): seed, scale, \
@@ -66,16 +84,18 @@ let manifest_arg =
   in
   Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"DIR" ~doc)
 
-let context seed scale csv_dir jobs manifest_dir n_override scheduler =
-  if scale <= 0. || scale > 1. then `Error (false, "scale must be in (0, 1]")
-  else if jobs < 1 then `Error (false, "jobs must be >= 1")
-  else
-    match n_override with
-    | Some n when n < 1 -> `Error (false, "n must be >= 1")
-    | _ -> `Ok { E.seed; scale; csv_dir; jobs; manifest_dir; n_override; scheduler }
+let context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap =
+  let ctx =
+    { E.seed; scale; csv_dir; jobs; manifest_dir; n_override; scheduler; bands; band_overlap }
+  in
+  (* Same checks (and messages) as the library entry point. *)
+  match E.validate_context ctx with
+  | () -> `Ok ctx
+  | exception Invalid_argument msg -> `Error (false, msg)
 
-let run_experiment entry seed scale csv_dir jobs manifest_dir n_override scheduler =
-  match context seed scale csv_dir jobs manifest_dir n_override scheduler with
+let run_experiment entry seed scale csv_dir jobs manifest_dir n_override scheduler bands
+    band_overlap =
+  match context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap with
   | `Error _ as e -> e
   | `Ok ctx ->
       E.run_named ctx entry;
@@ -88,12 +108,12 @@ let experiment_cmd ((name, description, _) as entry) =
     Term.(
       ret
         (const (run_experiment entry) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg
-       $ n_arg $ scheduler_arg))
+       $ n_arg $ scheduler_arg $ bands_arg $ band_overlap_arg))
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
-  let run seed scale csv_dir jobs manifest_dir n_override scheduler =
-    match context seed scale csv_dir jobs manifest_dir n_override scheduler with
+  let run seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap =
+    match context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap with
     | `Error _ as e -> e
     | `Ok ctx ->
         List.iter (E.run_named ctx) E.all;
@@ -103,7 +123,7 @@ let all_cmd =
     Term.(
       ret
         (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg $ n_arg
-       $ scheduler_arg))
+       $ scheduler_arg $ bands_arg $ band_overlap_arg))
 
 let list_cmd =
   let doc = "List available experiments." in

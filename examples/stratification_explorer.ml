@@ -19,7 +19,7 @@ let () =
       let analysis = Cluster.analyze_budgets ~b:(Normal_b.constant ~n:210 ~b0) in
       Output.note "b0 = %d: %3d clusters of mean size %.1f, MMO %.2f (closed form %.2f)" b0
         analysis.Cluster.count analysis.Cluster.mean_size
-        (Mmo.of_adjacency (Cluster.collaboration_graph ~b:(Normal_b.constant ~n:210 ~b0)))
+        (Mmo.of_adjacency (Cluster.collaboration_graph ~b:(Normal_b.constant ~n:210 ~b0) ()))
         (Mmo.closed_form b0))
     [ 1; 2; 4; 6 ];
 

@@ -73,7 +73,12 @@ let density t x =
 let sample t rng = quantile t (Rng.unit_float rng)
 
 let rank_bandwidths t ~n =
-  if n <= 0 then invalid_arg "Profile.rank_bandwidths: need n > 0";
+  (* A 1-slot "population" has no ranking to bridge to (§6 compares
+     peers across rank slots); every swarm caller needs n >= 2 anyway,
+     so reject the degenerate size by name instead of returning a
+     meaningless single median. *)
+  if n < 2 then
+    invalid_arg (Printf.sprintf "Profile.rank_bandwidths: need n >= 2 rank slots (got %d)" n);
   Array.init n (fun r -> quantile t (1. -. ((float_of_int r +. 0.5) /. float_of_int n)))
 
 let to_series t ~points =

@@ -31,7 +31,9 @@ val sample : t -> Stratify_prng.Rng.t -> float
 val rank_bandwidths : t -> n:int -> float array
 (** Discretise the population into [n] rank slots, best first:
     [out.(r) = quantile (1 − (r + ½)/n)].  This is the bandwidth → global
-    ranking bridge of §6. *)
+    ranking bridge of §6.  Raises [Invalid_argument] (naming the
+    offending value) when [n < 2] — a single rank slot has no ranking
+    to bridge. *)
 
 val to_series : t -> points:int -> Stratify_stats.Series.t
 (** CDF sampled at log-spaced abscissae, as percentages (Fig 10's axes). *)

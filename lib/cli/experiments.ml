@@ -18,6 +18,8 @@ type context = {
   manifest_dir : string option;
   n_override : int option;
   scheduler : Scheduler.policy;
+  bands : int;
+  band_overlap : int option;
 }
 
 let default_context =
@@ -29,7 +31,33 @@ let default_context =
     manifest_dir = None;
     n_override = None;
     scheduler = Scheduler.Random_poll;
+    bands = 1;
+    band_overlap = None;
   }
+
+(* Contexts also arrive from library callers (the bench harness builds
+   one directly), so the named-error validation lives here rather than
+   only in the cmdliner layer. *)
+let validate_context ctx =
+  if ctx.scale <= 0. || ctx.scale > 1. then
+    invalid_arg (Printf.sprintf "Experiments: scale must be in (0, 1] (got %g)" ctx.scale);
+  if ctx.jobs < 1 then
+    invalid_arg (Printf.sprintf "Experiments: jobs must be >= 1 (got %d)" ctx.jobs);
+  (match ctx.n_override with
+  | Some n when n < 1 ->
+      invalid_arg (Printf.sprintf "Experiments: n must be >= 1 (got %d)" n)
+  | _ -> ());
+  if ctx.bands < 1 then
+    invalid_arg (Printf.sprintf "Experiments: bands must be >= 1 (got %d)" ctx.bands);
+  (match ctx.n_override with
+  | Some n when ctx.bands > n ->
+      invalid_arg
+        (Printf.sprintf "Experiments: %d bands exceed the %d-peer population" ctx.bands n)
+  | _ -> ());
+  match ctx.band_overlap with
+  | Some o when o < 0 ->
+      invalid_arg (Printf.sprintf "Experiments: band-overlap must be >= 0 (got %d)" o)
+  | _ -> ()
 
 let scaled ctx full = max 1 (int_of_float (Float.round (float_of_int full *. ctx.scale)))
 
@@ -157,20 +185,44 @@ let print_components adj =
       (String.concat ", " (List.map (fun v -> string_of_int (v + 1)) members))
   done
 
+(* Same 50-bit FNV discipline as [config_checksum], over an adjacency's
+   (p, q) pairs with p < q — fig4 records one so CI can assert the
+   collaboration graph is band-count-invariant. *)
+let adjacency_checksum adj =
+  let h = ref 0x811c9dc5 in
+  Array.iteri
+    (fun p row ->
+      Array.iter
+        (fun q ->
+          if p < q then h := ((!h * 16777619) lxor ((p lsl 20) lxor q)) land ((1 lsl 50) - 1))
+        row)
+    adj;
+  !h
+
 let fig4 ctx =
   Output.section "Fig 4 - constant 2-matching on a complete graph: clusters of b0+1";
   (* The acceptance graph is implicit ([Instance.complete] under
-     [Cluster.collaboration_graph]), so [--n 100000] runs in O(n·b0)
-     memory — no n×n adjacency exists at any point. *)
+     [Cluster.collaboration_graph]), so [--n 1000000] runs in O(n·b0)
+     memory — no n×n adjacency exists at any point.  [--bands k] solves
+     k overlapping rank bands on the domain pool and reconciles the
+     boundaries; the graph is identical for every band count. *)
   let n = match ctx.n_override with Some n -> n | None -> 9 in
   let b0 = 2 in
-  let adj = Cluster.collaboration_graph ~b:(Normal_b.constant ~n ~b0) in
+  let adj =
+    Cluster.collaboration_graph ~jobs:ctx.jobs ~bands:ctx.bands ?overlap:ctx.band_overlap
+      ~b:(Normal_b.constant ~n ~b0) ()
+  in
+  let analysis = Cluster.analyze adj in
+  Stratify_obs.Counter.add
+    (Stratify_obs.Counter.make "checksum.fig4_graph")
+    (adjacency_checksum adj);
+  Stratify_obs.Counter.add
+    (Stratify_obs.Counter.make "checksum.fig4_clusters")
+    analysis.Cluster.count;
   if n <= 64 then print_components adj
-  else begin
-    let analysis = Cluster.analyze adj in
+  else
     Output.note "n=%d: %d clusters, mean size %.2f, largest %d" n analysis.Cluster.count
-      analysis.Cluster.mean_size analysis.Cluster.largest
-  end;
+      analysis.Cluster.mean_size analysis.Cluster.largest;
   Output.note "matches the predicted block structure: %b"
     (Cluster.matches_block_structure ~n ~b0 adj)
 
@@ -179,7 +231,7 @@ let fig5 ctx =
   Output.section "Fig 5 - one extra slot on peer 1 chains the clusters";
   let n = 8 and b0 = 2 in
   let b = Normal_b.with_extra (Normal_b.constant ~n ~b0) ~peer:0 in
-  let adj = Cluster.collaboration_graph ~b in
+  let adj = Cluster.collaboration_graph ~b () in
   print_components adj;
   let analysis = Cluster.analyze adj in
   Output.note "connected components: %d (paper: 1)" analysis.Cluster.count
@@ -207,7 +259,10 @@ let table1 ctx =
       | None -> 2520
       | Some n -> max (b0 + 1) (n - (n mod (b0 + 1)))
     in
-    let adj = Cluster.collaboration_graph ~b:(Normal_b.constant ~n:n_const ~b0) in
+    let adj =
+      Cluster.collaboration_graph ~jobs:ctx.jobs ~bands:ctx.bands ?overlap:ctx.band_overlap
+        ~b:(Normal_b.constant ~n:n_const ~b0) ()
+    in
     let const_analysis = Cluster.analyze adj in
     let const_mmo = Mmo.of_adjacency adj in
     (* Normal budgets: population must dwarf the expected cluster size.
@@ -221,7 +276,10 @@ let table1 ctx =
     let replicates = if b0 <= 5 then 7 else if b0 = 6 then 3 else 2 in
     let runs =
       Exec.map_replicas ~jobs:ctx.jobs ~rng ~replicas:replicates (fun rng _ ->
-          Phase.measure rng ~n:n_normal ~mean_b:(float_of_int b0) ~sigma:0.2 ~replicates:1)
+          (* Replicas already occupy the worker pool, so band solves
+             inside each kernel stay on their worker's domain. *)
+          Phase.measure ~bands:ctx.bands ?overlap:ctx.band_overlap rng ~n:n_normal
+            ~mean_b:(float_of_int b0) ~sigma:0.2 ~replicates:1)
     in
     let median f =
       let values = Array.map f runs in
@@ -269,7 +327,9 @@ let fig6 ctx =
   let replicates = 2 in
   let grid =
     Exec.map_replicas ~jobs:ctx.jobs ~rng ~replicas:(Array.length sigmas * replicates)
-      (fun rng k -> Phase.measure rng ~n ~mean_b:6. ~sigma:sigmas.(k / replicates) ~replicates:1)
+      (fun rng k ->
+        Phase.measure ~bands:ctx.bands ?overlap:ctx.band_overlap rng ~n
+          ~mean_b:6. ~sigma:sigmas.(k / replicates) ~replicates:1)
   in
   let points =
     Array.mapi
@@ -617,7 +677,12 @@ let scaling ctx =
           let rng = Rng.create (ctx.seed + k) in
           let graph = Gen.gnd rng ~n ~d in
           let inst = Instance.create ~graph ~b:(Array.make n 1) () in
-          let stable = Greedy.stable_config inst in
+          (* Reference fixed point via the sharded solver (Dense-backend
+             exercise; identical to greedy for every band count).  The
+             grid spans several n, so clamp the band count to each. *)
+          let stable =
+            Shard.stable_config ~bands:(min ctx.bands n) ?overlap:ctx.band_overlap inst
+          in
           let sim = Sim.create ~scheduler:ctx.scheduler inst rng in
           match Sim.run_until_stable sim ~stable ~max_units:4000 with
           | Some steps -> float_of_int steps /. float_of_int n
@@ -873,7 +938,7 @@ let streaming_experiment ctx =
      with sigma 0.5 puts the whole population in one giant component (cf
      Fig 6) so the comparison is about delay, not disconnection. *)
   let b = Normal_b.rounded_normal rng ~n ~mean:8. ~sigma:0.5 in
-  add "stratified (global ranking)" (Cluster.collaboration_graph ~b);
+  add "stratified (global ranking)" (Cluster.collaboration_graph ~b ());
   (* Latency-based: symmetric utility on random positions. *)
   let small = min n 600 in
   let positions = Stratify_graph.Spatial.random_positions rng ~n:small in
@@ -1176,6 +1241,7 @@ let find name =
 module Obs = Stratify_obs
 
 let run_named ctx (name, _desc, f) =
+  validate_context ctx;
   match ctx.manifest_dir with
   | None -> f ctx
   | Some dir ->

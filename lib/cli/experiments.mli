@@ -16,6 +16,8 @@ type context = {
   manifest_dir : string option;
   n_override : int option;
   scheduler : Stratify_core.Scheduler.policy;
+  bands : int;
+  band_overlap : int option;
 }
 (** [jobs] is the worker-domain count handed to {!Stratify_exec.Exec} by
     the Monte-Carlo-heavy experiments (fig1, table1, fig6, fig9, scaling).
@@ -43,11 +45,27 @@ type context = {
     the default) or {!Stratify_core.Scheduler.Worklist} (drain the dirty
     queue of active candidates).  By Theorem 1's uniqueness both reach
     the same stable configurations — fig1 pins this with the
-    [checksum.fig1_final/<i>] manifest counters. *)
+    [checksum.fig1_final/<i>] manifest counters.
+
+    [bands] (default 1) and [band_overlap] (default: the §4-derived
+    {!Stratify_core.Shard.default_overlap}) route the
+    complete-acceptance-graph matchings (fig4, table1, fig6) and
+    scaling's reference fixed points through
+    {!Stratify_core.Shard.stable_config}: [bands] overlapping rank bands
+    solved on the [jobs] domain pool, boundaries reconciled by the
+    worklist fixup.  Results are identical for every band count —
+    fig4 pins this with the [checksum.fig4_graph]/[checksum.fig4_clusters]
+    manifest counters. *)
 
 val default_context : context
 (** seed 42, scale 1.0, no CSV, [jobs = 1], no manifests, random-poll
-    scheduler. *)
+    scheduler, 1 band. *)
+
+val validate_context : context -> unit
+(** Raise a named [Invalid_argument] on out-of-range fields: scale
+    outside (0, 1], [jobs < 1], [n < 1], [bands < 1], [bands > n] (when
+    [n_override] is set) or a negative [band_overlap].  {!run_named}
+    calls this first. *)
 
 val run_named : context -> string * string * (context -> unit) -> unit
 (** Run one registry entry.  Without [manifest_dir] this just calls the

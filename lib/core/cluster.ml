@@ -9,14 +9,16 @@ type analysis = {
 
 (* Route through the implicit [Complete] backend: no n×n adjacency is
    ever materialized, so the fig4/table1/fig6 pipeline runs at 10⁵ peers
-   in O(n·b̄) memory.  [Greedy.stable_config] dispatches to its
-   complete-graph fast path, which produces exactly the same matching as
-   the legacy [Greedy.stable_complete]. *)
-let collaboration_graph ~b =
+   in O(n·b̄) memory.  With [bands = 1] (the default)
+   [Shard.stable_config] is exactly [Greedy.stable_config] and its
+   complete-graph fast path; [bands > 1] solves rank bands on the
+   domain pool and reconciles the boundaries — same unique result
+   (Theorem 1), which is what pushes fig4 to 10⁶–10⁷ peers. *)
+let collaboration_graph ?(jobs = 1) ?(bands = 1) ?overlap ~b () =
   let n = Array.length b in
   Array.iter (fun k -> if k < 0 then invalid_arg "Cluster.collaboration_graph: negative budget") b;
   let inst = Instance.complete ~n ~b () in
-  Config.to_adjacency (Greedy.stable_config inst)
+  Config.to_adjacency (Shard.stable_config ~jobs ~bands ?overlap inst)
 
 let analyze adj =
   let comps = Components.of_adjacency adj in
@@ -29,7 +31,7 @@ let analyze adj =
     count = comps.Components.count;
   }
 
-let analyze_budgets ~b = analyze (collaboration_graph ~b)
+let analyze_budgets ~b = analyze (collaboration_graph ~b ())
 
 let predicted_block ~n ~b0 ~peer =
   if b0 <= 0 then [ peer ]

@@ -12,9 +12,14 @@ type analysis = {
   count : int;
 }
 
-val collaboration_graph : b:int array -> int array array
+val collaboration_graph :
+  ?jobs:int -> ?bands:int -> ?overlap:int -> b:int array -> unit -> int array array
 (** Stable collaboration graph on the complete acceptance graph (identity
-    ranking), as sorted adjacency arrays.  Fast path — O(n · max b). *)
+    ranking), as sorted adjacency arrays.  Fast path — O(n · max b).
+    [bands]/[overlap]/[jobs] (defaults 1 / {!Shard.default_overlap} / 1)
+    route the matching through {!Shard.stable_config}: rank-banded
+    solves on the domain pool with boundary reconciliation — the result
+    is identical for every combination (Theorem 1's uniqueness). *)
 
 val analyze : int array array -> analysis
 (** Component statistics of a collaboration graph. *)

@@ -189,6 +189,33 @@ let to_adjacency t =
       let base = t.off.(p) in
       Array.init t.deg.(p) (fun i -> t.data.(base + i)))
 
+(* Bulk adoption of a band-local configuration: local peer [lp] becomes
+   global peer [shift + lp].  The caller (Shard.stable_config) guarantees
+   that [local] is a configuration of the rank window
+   [shift, shift + n_local) of [t]'s instance — same budgets, acceptance
+   restricted to the window — and that [t]'s segments in the window are
+   still empty.  Local segments are sorted and within capacity, and the
+   relabelling is a constant shift, so the copy is a flat O(edges) blit:
+   no per-pair acceptance checks, searches, or shifts, which is what lets
+   the sharded matching stitch 10⁶-peer bands without redoing the
+   greedy's insertion work serially. *)
+let absorb t local ~shift =
+  let ln = Array.length local.deg in
+  if shift < 0 || shift + ln > Array.length t.deg then
+    invalid_arg "Config.absorb: band outside the population";
+  for lp = 0 to ln - 1 do
+    let p = shift + lp in
+    let d = local.deg.(lp) in
+    if t.deg.(p) <> 0 then invalid_arg "Config.absorb: target peer already mated";
+    if d > t.off.(p + 1) - t.off.(p) then invalid_arg "Config.absorb: band mates exceed capacity";
+    let lbase = local.off.(lp) and base = t.off.(p) in
+    for i = 0 to d - 1 do
+      t.data.(base + i) <- shift + local.data.(lbase + i)
+    done;
+    t.deg.(p) <- d
+  done;
+  t.edges <- t.edges + local.edges
+
 let of_pairs instance pairs =
   let t = empty instance in
   List.iter (fun (p, q) -> connect t p q) pairs;

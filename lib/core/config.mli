@@ -88,6 +88,17 @@ val to_adjacency : t -> int array array
 val of_pairs : Instance.t -> (int * int) list -> t
 (** Build from explicit pairs; validates acceptability and budgets. *)
 
+val absorb : t -> t -> shift:int -> unit
+(** [absorb t local ~shift] bulk-copies the band-local configuration
+    [local] into [t], relabelling local peer [lp] to [shift + lp].
+    Contract (enforced only cheaply): [local]'s instance must be the
+    rank window [shift, shift + n) of [t]'s instance and the window's
+    peers must still be unmated in [t].  O(edges of [local]) array
+    blits — no per-pair validation or sorted insertion, which is what
+    makes stitching sharded bands ({!Shard.stable_config}) cheap.
+    Raises [Invalid_argument] when the window overflows [t], a target
+    peer is already mated, or a segment overflows its capacity. *)
+
 (** {2 Low-level views}
 
     Read-only views of the flat mate storage for fused hot-loop kernels

@@ -13,6 +13,9 @@ type point = {
 }
 
 val measure :
+  ?jobs:int ->
+  ?bands:int ->
+  ?overlap:int ->
   Stratify_prng.Rng.t ->
   n:int ->
   mean_b:float ->
@@ -20,9 +23,14 @@ val measure :
   replicates:int ->
   point
 (** Average cluster size and MMO over [replicates] independent budget
-    draws on [n] peers. *)
+    draws on [n] peers.  [bands]/[overlap]/[jobs] are forwarded to
+    {!Cluster.collaboration_graph} (rank-banded sharded matching);
+    results are identical for every combination. *)
 
 val sweep :
+  ?jobs:int ->
+  ?bands:int ->
+  ?overlap:int ->
   Stratify_prng.Rng.t ->
   n:int ->
   mean_b:float ->

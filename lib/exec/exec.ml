@@ -21,21 +21,35 @@ let run_chunked ~chunk ~jobs ~count work =
     let n_chunks = (count + chunk - 1) / chunk in
     let next = Atomic.make 0 in
     let observing = Obs.Control.enabled () in
+    (* Worker failures are recorded per chunk, never raised inside the
+       pool: each chunk index is claimed by exactly one worker (the
+       atomic counter), so the cells are written race-free, every domain
+       keeps draining the remaining chunks, and after all domains have
+       joined the failure with the LOWEST chunk index is re-raised with
+       its backtrace.  Which domain ran a failing chunk depends on
+       scheduling; the lowest failing chunk index does not — the
+       surfaced exception is identical for every [jobs], like the
+       results themselves. *)
+    let failures = Array.make n_chunks None in
     let worker () =
       let rec loop () =
         let c = Atomic.fetch_and_add next 1 in
         if c < n_chunks then begin
           let lo = c * chunk in
           let hi = min count (lo + chunk) in
-          if observing then begin
-            let t0 = Unix.gettimeofday () in
-            work lo hi;
-            Obs.Histogram.observe h_chunk_ns
-              (int_of_float (1e9 *. (Unix.gettimeofday () -. t0)));
-            Obs.Counter.incr c_chunks;
-            Obs.Counter.add c_tasks (hi - lo)
-          end
-          else work lo hi;
+          begin
+            try
+              if observing then begin
+                let t0 = Unix.gettimeofday () in
+                work lo hi;
+                Obs.Histogram.observe h_chunk_ns
+                  (int_of_float (1e9 *. (Unix.gettimeofday () -. t0)));
+                Obs.Counter.incr c_chunks;
+                Obs.Counter.add c_tasks (hi - lo)
+              end
+              else work lo hi
+            with e -> failures.(c) <- Some (e, Printexc.get_raw_backtrace ())
+          end;
           loop ()
         end
       in
@@ -44,17 +58,17 @@ let run_chunked ~chunk ~jobs ~count work =
     if jobs = 1 then worker ()
     else begin
       let pool = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      let here = try worker (); None with e -> Some e in
-      let spawned =
-        Array.fold_left
-          (fun acc d ->
-            match (try Domain.join d; None with e -> Some e) with
-            | Some _ as e when acc = None -> e
-            | _ -> acc)
-          None pool
-      in
-      match here, spawned with Some e, _ | None, Some e -> raise e | None, None -> ()
-    end
+      worker ();
+      Array.iter Domain.join pool
+    end;
+    let rec surface c =
+      if c < n_chunks then begin
+        match failures.(c) with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> surface (c + 1)
+      end
+    in
+    surface 0
   end
 
 let check_args fn ~chunk ~jobs ~count =

@@ -45,8 +45,15 @@ val map_replicas :
     is the number of consecutive replicas a worker claims at once — raise
     it for very cheap kernels.  [f] must not touch shared mutable state;
     everything the kernels in this repository need is reachable from their
-    substream and replica index.  An exception raised by any [f] is
-    re-raised on the calling domain after the pool drains. *)
+    substream and replica index.
+
+    Failure discipline: an exception raised by [f] is caught and
+    recorded against its chunk index; the pool keeps draining the
+    remaining chunks, and once every domain has joined, the recorded
+    exception with the {e lowest} chunk index is re-raised (with its
+    original backtrace) on the calling domain.  Which replica's failure
+    surfaces is therefore a function of the replica indices alone —
+    identical for every [jobs] value, like the results themselves. *)
 
 val map_indexed : ?chunk:int -> jobs:int -> count:int -> (int -> 'a) -> 'a array
 (** [map_indexed ~jobs ~count f] is [[| f 0; …; f (count-1) |]] computed

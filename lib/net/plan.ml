@@ -351,6 +351,24 @@ let resolve_groups n = function
 
 let pass_fail label ok detail = { label; ok; detail }
 
+let assertion_kind = function
+  | Drained -> "drained"
+  | Final_disorder_below _ -> "final_disorder_below"
+  | Inconsistency_below _ -> "inconsistency_below"
+  | Converged_by _ -> "converged_by"
+  | Stratification_within _ -> "stratification_within"
+
+(* A runner handed an assertion it cannot evaluate means the plan
+   bypassed [validate] (constructed directly instead of parsed) or
+   validate and the runners drifted apart.  Name the plan, the assertion
+   and the runner instead of crashing on a bare assertion — the caller
+   built the plan, so [Invalid_argument] is the right contract. *)
+let dispatch_fail plan ~runner a =
+  invalid_arg
+    (Printf.sprintf
+       "plan %s: assertion %S cannot be evaluated by the %s runner (was Plan.validate run?)"
+       plan.name (assertion_kind a) runner)
+
 let run_async plan ~n ~d ~b ~horizon ~initiative_rate =
   let rng = Rng.create plan.seed in
   let graph = Gen.gnd rng ~n ~d in
@@ -404,7 +422,7 @@ let run_async plan ~n ~d ~b ~horizon ~initiative_rate =
             pass_fail "converged_by"
               (v <= disorder_below)
               (Printf.sprintf "disorder %.6f at t=%g vs bound %g" v deadline disorder_below)
-        | Stratification_within _ -> assert false (* rejected by validate *))
+        | Stratification_within _ as a -> dispatch_fail plan ~runner:"async" a)
       plan.assertions
   in
   (checks, [ ("final_disorder", final_disorder) ])
@@ -448,7 +466,7 @@ let run_swarm plan ~n ~d ~ticks ~warmup =
             pass_fail "stratification_within"
               (Float.abs (strat -. base) <= tol)
               (Printf.sprintf "stratification %.4f vs fault-free %.4f (tolerance %g)" strat base tol)
-        | _ -> assert false (* rejected by validate *))
+        | a -> dispatch_fail plan ~runner:"swarm" a)
       plan.assertions
   in
   let metrics =

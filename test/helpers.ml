@@ -36,5 +36,11 @@ let instance_params =
       let* bmax = int_range 0 4 in
       return (seed, n, float_of_int p10 /. 10., bmax))
 
+(* Substring membership, for asserting on error-message fragments. *)
+let contains s sub =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+  go 0
+
 let qtest ?(count = 200) name arb law =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)

@@ -37,7 +37,7 @@ let test_streaming_stratified_vs_random () =
   let n = 600 in
   let rng = Helpers.rng ~seed:44 () in
   let b = Normal_b.rounded_normal rng ~n ~mean:4. ~sigma:0.5 in
-  let stratified = Cluster.collaboration_graph ~b in
+  let stratified = Cluster.collaboration_graph ~b () in
   let random = Streaming.random_regular_baseline rng ~n ~degree:4 in
   let source = [ 0 ] in
   let s = Streaming.measure ~adjacency:stratified ~sources:source in

@@ -65,6 +65,18 @@ let test_rank_bandwidths_decreasing () =
   Alcotest.(check bool) "best is fast" true (bw.(0) > 10_000.);
   Alcotest.(check bool) "worst is slow" true (bw.(499) < 100.)
 
+let test_rank_bandwidths_validation () =
+  List.iter
+    (fun n ->
+      match Profile.rank_bandwidths Saroiu.profile ~n with
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d names the offending value: %s" n msg)
+            true
+            (Helpers.contains msg (string_of_int n))
+      | _ -> Alcotest.failf "n=%d: expected Invalid_argument" n)
+    [ 1; 0; -3 ]
+
 let test_series_export () =
   let s = Profile.to_series simple_profile ~points:11 in
   Alcotest.(check int) "points" 11 (Series.length s);
@@ -208,6 +220,7 @@ let suite =
     Alcotest.test_case "density integrates to 1" `Slow test_density_integrates_to_one;
     Alcotest.test_case "sampling matches cdf" `Slow test_sampling_matches_cdf;
     Alcotest.test_case "rank bandwidths decreasing" `Quick test_rank_bandwidths_decreasing;
+    Alcotest.test_case "rank bandwidths validation" `Quick test_rank_bandwidths_validation;
     Alcotest.test_case "series export (Fig 10)" `Quick test_series_export;
     Alcotest.test_case "Saroiu profile shape (Fig 10)" `Quick test_saroiu_shape;
     Alcotest.test_case "Fig 11: best peers suffer" `Slow test_fig11_best_peers_suffer;

@@ -175,6 +175,28 @@ let test_exception_propagates () =
                  if i = 5 then failwith "replica 5 exploded"))))
     [ 1; 2 ]
 
+let test_failure_determinism () =
+  (* Several replicas fail; the one with the lowest index must surface,
+     for every jobs value — which domain ran a failing replica is
+     scheduling noise, the surfaced exception must not be. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "lowest failing replica wins (map_replicas, jobs=%d)" jobs)
+        (Failure "replica 2 exploded")
+        (fun () ->
+          ignore
+            (Exec.map_replicas ~jobs ~rng:(Rng.create 1) ~replicas:12 (fun _rng i ->
+                 if i = 2 || i = 7 || i = 11 then failwith (Printf.sprintf "replica %d exploded" i))));
+      Alcotest.check_raises
+        (Printf.sprintf "lowest failing index wins (map_indexed, jobs=%d)" jobs)
+        (Failure "index 3 exploded")
+        (fun () ->
+          ignore
+            (Exec.map_indexed ~jobs ~count:12 (fun i ->
+                 if i >= 3 then failwith (Printf.sprintf "index %d exploded" i)))))
+    [ 1; 2; 4 ]
+
 let test_argument_validation () =
   let kernel _rng i = i in
   Alcotest.check_raises "jobs=0 rejected"
@@ -203,5 +225,6 @@ let suite =
     Alcotest.test_case "online_replicas jobs-invariant" `Quick test_online_replicas;
     QCheck_alcotest.to_alcotest test_online_random_partitions;
     Alcotest.test_case "kernel exceptions propagate" `Quick test_exception_propagates;
+    Alcotest.test_case "lowest failing index surfaces" `Quick test_failure_determinism;
     Alcotest.test_case "argument validation" `Quick test_argument_validation;
   ]

@@ -14,6 +14,8 @@ let tiny =
     manifest_dir = None;
     n_override = None;
     scheduler = Stratify_core.Scheduler.Random_poll;
+    bands = 1;
+    band_overlap = None;
   }
 
 let experiment_cases =
@@ -38,6 +40,24 @@ let test_registry_lookup () =
          "fig10"; "fig11";
        ])
 
+let test_context_validation () =
+  let expect what ctx fragment =
+    match E.validate_context ctx with
+    | exception Invalid_argument msg ->
+        if not (Helpers.contains msg fragment) then
+          Alcotest.failf "%s: error %S does not mention %S" what msg fragment
+    | () -> Alcotest.failf "%s: expected Invalid_argument" what
+  in
+  expect "n = 0" { tiny with E.n_override = Some 0 } "n must be >= 1";
+  expect "negative n" { tiny with E.n_override = Some (-5) } "-5";
+  expect "zero scale" { tiny with E.scale = 0. } "scale";
+  expect "jobs = 0" { tiny with E.jobs = 0 } "jobs";
+  expect "bands = 0" { tiny with E.bands = 0 } "bands";
+  expect "bands > n" { tiny with E.n_override = Some 100; bands = 101 } "101 bands";
+  expect "negative overlap" { tiny with E.band_overlap = Some (-1) } "overlap";
+  (* The boundary cases are accepted. *)
+  E.validate_context { tiny with E.n_override = Some 100; bands = 100; band_overlap = Some 0 }
+
 let test_csv_export () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "stratify_test_csv" in
   (match E.find "fig7" with
@@ -53,5 +73,6 @@ let test_csv_export () =
 
 let suite =
   Alcotest.test_case "registry lookup" `Quick test_registry_lookup
+  :: Alcotest.test_case "context validation" `Quick test_context_validation
   :: Alcotest.test_case "csv export" `Quick test_csv_export
   :: experiment_cases

@@ -7,6 +7,7 @@ let () =
       ("matching", Test_matching.suite);
       ("dynamics", Test_dynamics.suite);
       ("scheduler", Test_scheduler.suite);
+      ("shard", Test_shard.suite);
       ("stratification", Test_stratification.suite);
       ("analytic", Test_analytic.suite);
       ("bandwidth", Test_bandwidth.suite);

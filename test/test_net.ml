@@ -393,6 +393,47 @@ let test_plan_parse_errors () =
     {|{"name": "x", "workload": {"kind": "async", "n": 10},
        "assertions": [{"kind": "stratification_within", "tolerance": 0.1}]}|}
 
+let test_plan_dispatch_errors () =
+  (* A plan built directly (bypassing validate) with an assertion its
+     runner cannot evaluate must fail with a structured error naming the
+     plan and the assertion kind — not an [assert false]. *)
+  let expect_dispatch what plan fragment =
+    match Plan.run plan with
+    | exception Invalid_argument msg ->
+        if not (Helpers.contains msg fragment) then
+          Alcotest.failf "%s: error %S does not mention %S" what msg fragment
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  in
+  let net =
+    {
+      Plan.latency = Plan.Constant 0.05;
+      loss = Plan.No_loss;
+      duplicate = 0.;
+      reorder = 0.;
+      reorder_spread = 0.;
+    }
+  in
+  expect_dispatch "swarm assertion on async runner"
+    {
+      Plan.name = "drifted-async";
+      seed = 3;
+      workload = Plan.Async { n = 10; d = 4.; b = 1; horizon = 5.; initiative_rate = 1. };
+      net;
+      partitions = [];
+      assertions = [ Plan.Stratification_within 0.1 ];
+    }
+    "\"stratification_within\" cannot be evaluated by the async runner";
+  expect_dispatch "async assertion on swarm runner"
+    {
+      Plan.name = "drifted-swarm";
+      seed = 3;
+      workload = Plan.Swarm { n = 12; d = 4.; ticks = 4; warmup = 1 };
+      net;
+      partitions = [];
+      assertions = [ Plan.Drained ];
+    }
+    "\"drained\" cannot be evaluated by the swarm runner"
+
 let test_plan_run_deterministic () =
   let plan =
     Plan.of_json
@@ -442,5 +483,6 @@ let suite =
     Alcotest.test_case "async budget-exhausted outcome" `Quick test_async_budget_outcome;
     Alcotest.test_case "plan JSON round-trip" `Quick test_plan_roundtrip;
     Alcotest.test_case "plan rejects ill-formed input" `Quick test_plan_parse_errors;
+    Alcotest.test_case "plan runner dispatch errors" `Quick test_plan_dispatch_errors;
     Alcotest.test_case "plan run deterministic" `Slow test_plan_run_deterministic;
   ]

@@ -1,0 +1,214 @@
+(* Rank-banded sharded matching: band geometry, the cluster-cut renewal
+   scan, and the headline property — the sharded solve is identical to
+   the unsharded greedy for any band count, overlap and backend
+   (Theorem 1's uniqueness makes "blocking-pair-free" mean "equal"). *)
+
+module Rng = Stratify_prng.Rng
+open Stratify_core
+
+(* ------------------------------------------------------------------ *)
+(* Band geometry                                                       *)
+
+let test_band_ranges () =
+  let ranges = Shard.band_ranges ~n:10 ~bands:3 ~overlap:2 in
+  Alcotest.(check int) "bands" 3 (Array.length ranges);
+  (* Cores partition [0, n). *)
+  Alcotest.(check int) "first core starts at 0" 0 ranges.(0).Shard.core_lo;
+  Alcotest.(check int) "last core ends at n" 10 ranges.(2).Shard.core_hi;
+  Array.iteri
+    (fun i r ->
+      if i > 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "band %d contiguous" i)
+          ranges.(i - 1).Shard.core_hi r.Shard.core_lo;
+      Alcotest.(check int) "ext_lo pads by overlap" (max 0 (r.Shard.core_lo - 2)) r.Shard.ext_lo;
+      Alcotest.(check int) "ext_hi pads by overlap" (min 10 (r.Shard.core_hi + 2)) r.Shard.ext_hi)
+    ranges
+
+let expect_invalid what f =
+  match f () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s names the offence: %s" what msg)
+        true
+        (String.length msg > 0)
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+
+let test_band_validation () =
+  expect_invalid "bands = 0" (fun () -> Shard.band_ranges ~n:10 ~bands:0 ~overlap:0);
+  expect_invalid "bands > n" (fun () -> Shard.band_ranges ~n:10 ~bands:11 ~overlap:0);
+  expect_invalid "negative overlap" (fun () -> Shard.band_ranges ~n:10 ~bands:2 ~overlap:(-1));
+  let inst = Instance.complete ~n:6 ~b:(Array.make 6 1) () in
+  expect_invalid "stable_config jobs = 0" (fun () -> Shard.stable_config ~jobs:0 inst);
+  expect_invalid "stable_config bands = 0" (fun () -> Shard.stable_config ~bands:0 inst);
+  expect_invalid "stable_config bands > n" (fun () -> Shard.stable_config ~bands:7 inst);
+  expect_invalid "stable_config overlap < 0" (fun () ->
+      Shard.stable_config ~bands:2 ~overlap:(-3) inst)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster cuts (renewal points)                                       *)
+
+let test_cuts_constant_budgets () =
+  (* Constant b0: §4's block structure — cuts at every multiple of b0+1. *)
+  let n = 17 and b0 = 2 in
+  let inst = Instance.complete ~n ~b:(Array.make n b0) () in
+  let expected = List.init ((n / (b0 + 1)) + 1) (fun i -> i * (b0 + 1)) @ [ n ] in
+  let expected = List.sort_uniq Int.compare expected in
+  Alcotest.(check (list int)) "multiples of b0+1" expected
+    (Array.to_list (Shard.cluster_cuts inst))
+
+let prop_cuts_are_crossing_free =
+  Helpers.qtest ~count:120 "no stable pair crosses a cut (complete family)"
+    QCheck.(
+      make
+        ~print:(fun (seed, n, bmax, removals) ->
+          Printf.sprintf "seed=%d n=%d bmax=%d removals=%d" seed n bmax removals)
+        Gen.(
+          let* seed = int_bound 1_000_000 in
+          let* n = int_range 1 60 in
+          let* bmax = int_range 0 4 in
+          let* removals = int_range 0 5 in
+          return (seed, n, bmax, removals)))
+    (fun (seed, n, bmax, removals) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      let removed = List.init (min removals n) (fun _ -> Rng.int rng n) in
+      let inst =
+        if removals = 0 then Instance.complete ~n ~b ()
+        else Instance.complete_minus ~n ~b ~removed ()
+      in
+      let cuts = Shard.cluster_cuts inst in
+      let stable = Greedy.stable_config inst in
+      Array.for_all
+        (fun s ->
+          let crossed = ref false in
+          Config.iter_pairs (fun p q -> if p < s && q >= s then crossed := true) stable;
+          not !crossed)
+        cuts
+      && cuts.(0) = 0
+      && cuts.(Array.length cuts - 1) = n)
+
+let test_snap_ranges_dedup () =
+  (* Cuts sparser than bands: snapped boundaries collapse and the
+     effective band count drops instead of splitting a cluster. *)
+  let ranges = Shard.snap_ranges ~n:12 ~bands:6 [| 0; 6; 12 |] in
+  Alcotest.(check int) "two effective bands" 2 (Array.length ranges);
+  Alcotest.(check int) "boundary at the cut" 6 ranges.(1).Shard.core_lo;
+  Array.iter
+    (fun r ->
+      Alcotest.(check int) "no extension" r.Shard.core_lo r.Shard.ext_lo;
+      Alcotest.(check int) "no extension (hi)" r.Shard.core_hi r.Shard.ext_hi)
+    ranges;
+  (* One giant cluster: everything collapses to a single band. *)
+  Alcotest.(check int) "giant cluster -> one band" 1
+    (Array.length (Shard.snap_ranges ~n:12 ~bands:6 [| 0; 12 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Sharded = unsharded (the headline invariance)                       *)
+
+let check_sharded_equal inst ~bands ~overlap =
+  let reference = Greedy.stable_config inst in
+  let sharded = Shard.stable_config ~bands ?overlap inst in
+  Blocking.is_stable sharded
+  && Config.signature sharded = Config.signature reference
+  && Config.edge_count sharded = Config.edge_count reference
+
+let shard_params =
+  QCheck.make
+    ~print:(fun (seed, n, bmax, bands, overlap) ->
+      Printf.sprintf "seed=%d n=%d bmax=%d bands=%d overlap=%d" seed n bmax bands overlap)
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* n = int_range 1 60 in
+      let* bands = int_range 1 8 in
+      let* bmax = int_range 0 4 in
+      let* overlap = int_range 0 3 in
+      return (seed, n, bmax, min bands (max 1 n), overlap))
+
+let prop_complete_band_invariance =
+  Helpers.qtest ~count:150 "complete: sharded = greedy for any bands/overlap" shard_params
+    (fun (seed, n, bmax, bands, overlap) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      check_sharded_equal (Instance.complete ~n ~b ()) ~bands ~overlap:(Some overlap))
+
+let prop_complete_minus_band_invariance =
+  Helpers.qtest ~count:150 "complete_minus: sharded = greedy for any bands/overlap" shard_params
+    (fun (seed, n, bmax, bands, overlap) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      let removed = List.init (Rng.int rng (1 + (n / 3))) (fun _ -> Rng.int rng n) in
+      check_sharded_equal (Instance.complete_minus ~n ~b ~removed ()) ~bands ~overlap:(Some overlap))
+
+let prop_dense_band_invariance =
+  Helpers.qtest ~count:150 "dense: sharded = greedy for any bands/overlap (tolerant stitch)"
+    shard_params (fun (seed, n, bmax, bands, overlap) ->
+      let inst = Helpers.random_instance (Rng.create seed) ~n ~p:0.4 ~bmax in
+      (* Tiny explicit overlaps push work into the fixup; the default
+         overlap exercises the concentration bound. *)
+      let overlap = if overlap = 3 then None else Some overlap in
+      check_sharded_equal inst ~bands ~overlap)
+
+let test_default_overlap_used () =
+  (* Default overlap path (None) on a constant-budget population. *)
+  let n = 100 and b0 = 3 in
+  let inst = Instance.complete ~n ~b:(Array.make n b0) () in
+  Alcotest.(check bool) "default overlap, 7 bands" true
+    (check_sharded_equal inst ~bands:7 ~overlap:None);
+  Alcotest.(check bool) "overlap 0, 7 bands" true
+    (check_sharded_equal inst ~bands:7 ~overlap:(Some 0))
+
+(* ------------------------------------------------------------------ *)
+(* Churn: sharded solve of a live dynamic world                        *)
+
+let test_churn_repair_under_sharding () =
+  (* Drive a dynamic-backend world through churn, then check the
+     sharded solve of the live instance against the world's own
+     incremental stable reference. *)
+  let rng = Rng.create 77 in
+  let n = 36 and d = 5. and b = 2 in
+  let w = Churn.make_world rng ~n ~d ~b in
+  let p = d /. float_of_int (n - 1) in
+  for _ = 1 to 20 do
+    Churn.churn_event rng w ~p;
+    for _ = 1 to 2 do
+      Churn.initiative_step rng w Initiative.Best_mate
+    done
+  done;
+  let inst = Churn.world_instance w in
+  let reference = Config.signature (Churn.world_stable w) in
+  List.iter
+    (fun bands ->
+      Alcotest.(check string)
+        (Printf.sprintf "%d bands match the churn-repaired reference" bands)
+        reference
+        (Config.signature (Shard.stable_config ~bands ~overlap:2 inst)))
+    [ 1; 2; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Config.absorb contract                                              *)
+
+let test_absorb_guards () =
+  let inst = Instance.complete ~n:6 ~b:(Array.make 6 1) () in
+  let local = Greedy.stable_config (Shard.band_instance inst ~lo:0 ~hi:2) in
+  let target = Config.empty inst in
+  expect_invalid "absorb outside the population" (fun () ->
+      Config.absorb target local ~shift:5);
+  Config.absorb target local ~shift:0;
+  Alcotest.(check bool) "absorbed pair present" true (Config.mated target 0 1);
+  expect_invalid "absorb over mated peers" (fun () -> Config.absorb target local ~shift:0)
+
+let suite =
+  [
+    Alcotest.test_case "band_ranges geometry" `Quick test_band_ranges;
+    Alcotest.test_case "named validation errors" `Quick test_band_validation;
+    Alcotest.test_case "cuts on constant budgets" `Quick test_cuts_constant_budgets;
+    prop_cuts_are_crossing_free;
+    Alcotest.test_case "snap_ranges dedup" `Quick test_snap_ranges_dedup;
+    prop_complete_band_invariance;
+    prop_complete_minus_band_invariance;
+    prop_dense_band_invariance;
+    Alcotest.test_case "default overlap" `Quick test_default_overlap_used;
+    Alcotest.test_case "churn repair under sharding" `Quick test_churn_repair_under_sharding;
+    Alcotest.test_case "Config.absorb guards" `Quick test_absorb_guards;
+  ]

@@ -25,7 +25,7 @@ let test_mmo_empirical_matches_closed_form () =
   List.iter
     (fun b0 ->
       let n = 60 / (b0 + 1) * (b0 + 1) in
-      let adj = Cluster.collaboration_graph ~b:(Array.make n b0) in
+      let adj = Cluster.collaboration_graph ~b:(Array.make n b0) () in
       Helpers.check_close ~eps:1e-9
         (Printf.sprintf "b0=%d" b0)
         (Mmo.closed_form b0) (Mmo.of_adjacency adj))
@@ -42,7 +42,7 @@ let test_cluster_block_structure () =
   (* Fig 4 for several (n, b0), with and without truncated remainder. *)
   List.iter
     (fun (n, b0) ->
-      let adj = Cluster.collaboration_graph ~b:(Array.make n b0) in
+      let adj = Cluster.collaboration_graph ~b:(Array.make n b0) () in
       Alcotest.(check bool)
         (Printf.sprintf "n=%d b0=%d" n b0)
         true
