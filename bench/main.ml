@@ -35,7 +35,11 @@
                          (default BENCH_shard.json — also a checked-in
                          baseline; the bench asserts band-count
                          invariance in-process and, when enough cores
-                         exist, the parallel speedup at 8 bands). *)
+                         exist, the parallel speedup at 8 bands)
+     BENCH_MATRIX_OUT=path where to write the scenario-matrix run manifest
+                         (default BENCH_matrix.json — also a checked-in
+                         baseline; checksums pin the generated cell list
+                         and the metrics of the async-dense slice). *)
 
 open Bechamel
 
@@ -1138,6 +1142,88 @@ let bench_shard () =
   Obs.Run_manifest.write_path out manifest;
   Printf.printf "  wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 8: scenario-matrix expansion and execution                     *)
+
+let bench_matrix () =
+  print_endline "\n================ Scenario matrix (expansion + cell execution) ================";
+  let module Obs = Stratify_obs in
+  let module Matrix = Stratify_net_plan.Matrix in
+  let module Plan = Stratify_net_plan.Plan in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Expansion throughput: the generator is pure, so repeated expansion
+     is the honest unit of work; the checksum pins the cell list
+     (names, order, per-cell seeds) across machines. *)
+  let reps = 200 in
+  let cells = Matrix.generate ~seed:42 in
+  let (), expand_dt =
+    time (fun () ->
+        for _ = 2 to reps do
+          ignore (Matrix.generate ~seed:42)
+        done)
+  in
+  let cells_cs = Matrix.checksum cells in
+  Printf.printf "  expand: %d cells x %d reps in %.3f s (checksum %d)\n%!" Matrix.cardinality
+    reps expand_dt cells_cs;
+  (* Run throughput: the async-dense slice of the matrix on the domain
+     pool — the cheapest cells, so the rate reflects runner overhead
+     rather than one slow simulator.  The metrics checksum (FNV over the
+     IEEE bits of every cell metric, in cell order) pins execution
+     determinism end to end. *)
+  let subset = Matrix.filter cells ~substring:"async-dense" in
+  let git = Obs.Run_manifest.git_describe () in
+  let jobs = Exec.default_jobs () in
+  let results, run_dt =
+    time (fun () ->
+        Exec.map_array ~jobs subset (fun c -> Plan.run_pure ~git c.Matrix.plan))
+  in
+  let passed = Array.for_all (fun r -> r.Plan.passed) results in
+  if not passed then failwith "bench.matrix: an async-dense cell failed its assertions";
+  let metrics_cs =
+    let acc = ref 0xcbf29ce484222325L in
+    Array.iter
+      (fun r ->
+        List.iter
+          (fun (_, v) ->
+            acc := Int64.mul (Int64.logxor !acc (Int64.bits_of_float v)) 0x100000001b3L)
+          r.Plan.manifest.Stratify_obs.Run_manifest.metrics)
+      results;
+    Int64.to_int (Int64.logand !acc 0x3FFF_FFFFL)
+  in
+  Printf.printf "  run: %d cells in %.3f s on %d jobs (metrics checksum %d)\n%!"
+    (Array.length subset) run_dt jobs metrics_cs;
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  Obs.Counter.add (Obs.Counter.make "checksum.matrix_cells") cells_cs;
+  Obs.Counter.add (Obs.Counter.make "checksum.matrix_cardinality") Matrix.cardinality;
+  Obs.Counter.add (Obs.Counter.make "checksum.matrix_metrics") metrics_cs;
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_matrix" ~seed:42 ~scale:1.0 ~jobs
+      ~metrics:
+        [
+          ("rate/matrix_expand", float_of_int (Matrix.cardinality * reps) /. expand_dt);
+          ("rate/matrix_run", float_of_int (Array.length subset) /. run_dt);
+          ("matrix/cells", float_of_int Matrix.cardinality);
+          ("matrix/subset", float_of_int (Array.length subset));
+          ("matrix/jobs", float_of_int jobs);
+        ]
+      ()
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_MATRIX_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_matrix.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
+
 let () =
   if Sys.getenv_opt "BENCH_SKIP_REGEN" = None then regenerate ();
   run_benchmarks ();
@@ -1146,4 +1232,5 @@ let () =
   bench_sched ();
   bench_net ();
   bench_shard ();
+  bench_matrix ();
   bench_stability_detection ()

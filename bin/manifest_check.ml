@@ -5,6 +5,7 @@
    Usage:
      manifest_check bench  BASELINE.json CANDIDATE.json [--max-slowdown 2.0]
      manifest_check golden GOLDEN.json   CANDIDATE.json [--counters k1,k2,...]
+     manifest_check matrix SUMMARY.json  [--cells N]
 
    `bench` enforces the perf/correctness contract: every "checksum"
    counter of the baseline must match the candidate exactly, and every
@@ -15,7 +16,15 @@
    `golden` enforces determinism end to end: the named counters (default:
    all counters recorded in the golden manifest) must match exactly, as
    must name, seed and scale.  Timings are ignored — they are the
-   machine's business, not the algorithm's. *)
+   machine's business, not the algorithm's.
+
+   `matrix` validates an aggregated matrix-summary.json: the schema must
+   parse, the recorded cardinality must equal the generator's compiled-in
+   cardinality, the cell count must equal the cardinality (a merged full
+   run left nothing behind — override the expected count with --cells N
+   for deliberately partial runs), cell names must be unique and agree
+   with their recorded axes, and per-cell seeds must match the
+   generator's name-keyed derivation from the matrix seed. *)
 
 module M = Stratify_obs.Run_manifest
 
@@ -74,10 +83,43 @@ let check_golden ~counters golden candidate =
       | None, _ -> fail "counter %s missing from golden" key)
     keys
 
+module Matrix = Stratify_net_plan.Matrix
+module Report = Stratify_cli.Matrix_report
+
+let check_matrix ~expected_cells path =
+  let summary = Report.read path in
+  let cells = summary.Report.cells in
+  if summary.Report.cardinality <> Matrix.cardinality then
+    fail "cardinality: summary records %d, generator produces %d" summary.Report.cardinality
+      Matrix.cardinality
+  else ok "cardinality %d matches the generator" Matrix.cardinality;
+  let expected = match expected_cells with Some n -> n | None -> Matrix.cardinality in
+  let count = List.length cells in
+  if count <> expected then fail "cell count: %d, expected %d" count expected
+  else ok "cell count %d" count;
+  (* Report.of_json already rejects duplicate names; re-derive the axis
+     name and seed per cell so a hand-edited summary cannot drift. *)
+  List.iter
+    (fun c ->
+      let from_axes =
+        List.map
+          (fun k -> match List.assoc_opt k c.Report.axes with Some v -> v | None -> "?")
+          [ "workload"; "backend"; "scheduler"; "size"; "fault" ]
+      in
+      let derived = String.concat "-" from_axes in
+      if derived <> c.Report.name then
+        fail "cell %s: axes spell %S" c.Report.name derived;
+      let seed = Matrix.cell_seed ~matrix_seed:summary.Report.matrix_seed ~name:c.Report.name in
+      if seed <> c.Report.seed then
+        fail "cell %s: seed %d, generator derives %d" c.Report.name c.Report.seed seed)
+    cells;
+  ok "%d cell(s) named and seeded consistently" count
+
 let usage () =
   prerr_endline
     "usage: manifest_check bench BASELINE CANDIDATE [--max-slowdown X]\n\
-    \       manifest_check golden GOLDEN CANDIDATE [--counters k1,k2,...]";
+    \       manifest_check golden GOLDEN CANDIDATE [--counters k1,k2,...]\n\
+    \       manifest_check matrix SUMMARY [--cells N]";
   exit 2
 
 let () =
@@ -95,6 +137,19 @@ let () =
   in
   let opt key flags = List.assoc_opt key flags in
   match argv with
+  | _ :: "matrix" :: rest -> (
+      let flags, positional = split_flags rest in
+      match positional with
+      | [ path ] ->
+          Printf.printf "matrix: %s\n" path;
+          let expected_cells = Option.map int_of_string (opt "--cells" flags) in
+          check_matrix ~expected_cells path;
+          if !failures > 0 then begin
+            Printf.printf "%d check(s) failed\n" !failures;
+            exit 1
+          end
+          else print_endline "all checks passed"
+      | _ -> usage ())
   | _ :: mode :: rest -> (
       let rest, positional = split_flags rest in
       match positional with

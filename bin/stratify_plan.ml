@@ -7,8 +7,8 @@
    manifest written to DIR (default results/manifests/plans) as
    <name>-<seed>.json.  Exit status 0 iff every assertion of every plan
    held.  Manifests are deterministic: two same-seed invocations of the
-   same binary produce byte-identical files, which the scenario-suite CI
-   job pins with a double-run diff. *)
+   same binary produce byte-identical files, which the matrix-aggregate
+   CI job pins with a double-run diff. *)
 
 module Plan = Stratify_net_plan.Plan
 module Manifest = Stratify_obs.Run_manifest

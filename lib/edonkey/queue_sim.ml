@@ -2,10 +2,16 @@ module Rng = Stratify_prng.Rng
 module Gen = Stratify_graph.Gen
 module Undirected = Stratify_graph.Undirected
 module Correlation = Stratify_stats.Correlation
+module Net = Stratify_net.Net
 
-type params = { uploads : float array; slots : int; d : float }
+type params = {
+  uploads : float array;
+  slots : int;
+  d : float;
+  faults : Net.Tick.t option;
+}
 
-let default_params ~uploads = { uploads; slots = 4; d = 20. }
+let default_params ~uploads = { uploads; slots = 4; d = 20.; faults = None }
 
 type t = {
   params : params;
@@ -41,6 +47,18 @@ let size t = Array.length t.params.uploads
 
 let step t =
   let n = size t in
+  (match t.params.faults with
+  | Some f -> Net.Tick.advance f ~tick:t.tick
+  | None -> ());
+  (* A server splits capacity over its chosen slots before the network
+     has its say: a dropped or partitioned link wastes that share for the
+     tick (the served client still rejoins the back of the queue — the
+     service attempt happened, the bytes did not arrive). *)
+  let link_up server client =
+    match t.params.faults with
+    | None -> true
+    | Some f -> Net.Tick.passes f ~tick:t.tick ~src:server ~dst:client
+  in
   (* Each server picks its top-scoring waiting clients. *)
   for server = 0 to n - 1 do
     let row = t.neighbors.(server) in
@@ -66,9 +84,11 @@ let step t =
       List.iter
         (fun k ->
           let client = row.(k) in
-          t.uploaded.(server) <- t.uploaded.(server) +. share;
-          t.downloaded.(client) <- t.downloaded.(client) +. share;
-          Credit.record_transfer t.credit ~from_:server ~to_:client share;
+          if link_up server client then begin
+            t.uploaded.(server) <- t.uploaded.(server) +. share;
+            t.downloaded.(client) <- t.downloaded.(client) +. share;
+            Credit.record_transfer t.credit ~from_:server ~to_:client share
+          end;
           (* Served clients drop to the back of the queue. *)
           t.waiting.(server).(k) <- 0.)
         served;
@@ -94,6 +114,9 @@ let reset_counters t =
 
 let uploaded t p = t.uploaded.(p)
 let downloaded t p = t.downloaded.(p)
+
+let link_drops t =
+  match t.params.faults with None -> 0 | Some f -> Net.Tick.drops f
 
 let share_ratios t =
   Array.init (size t) (fun p ->

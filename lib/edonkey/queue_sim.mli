@@ -16,10 +16,17 @@ type params = {
   uploads : float array;  (** per-peer upload capacity, units/tick *)
   slots : int;  (** concurrent upload slots per peer *)
   d : float;  (** knowledge degree (Erdős–Rényi) *)
+  faults : Stratify_net.Net.Tick.t option;
+      (** tick-level link faults: per-tick per-link loss and scheduled
+          partitions.  A dropped link wastes the server's share for that
+          tick (capacity is split before the network has its say); the
+          served client still rejoins the back of the queue.  [None] =
+          the historical fault-free simulator, bit-identical and drawing
+          nothing. *)
 }
 
 val default_params : uploads:float array -> params
-(** slots = 4, d = 20. *)
+(** slots = 4, d = 20, no link faults. *)
 
 type t
 
@@ -31,6 +38,10 @@ val reset_counters : t -> unit
 
 val uploaded : t -> int -> float
 val downloaded : t -> int -> float
+
+val link_drops : t -> int
+(** Transfers suppressed by the fault model so far (0 without
+    [faults]). *)
 
 val share_ratios : t -> float array
 (** downloaded/uploaded per peer over the measurement window. *)

@@ -102,6 +102,9 @@ let map_indexed ?(chunk = 1) ~jobs ~count f =
           done));
   gather "Exec.map_indexed" out
 
+let map_array ?(chunk = 1) ~jobs xs f =
+  map_indexed ~chunk ~jobs ~count:(Array.length xs) (fun i -> f xs.(i))
+
 let reduce_replicas ?(chunk = 1) ~jobs ~rng ~replicas ~merge map =
   check_args "Exec.reduce_replicas" ~chunk ~jobs ~count:replicas;
   let streams = Array.init replicas (fun _ -> Rng.split rng) in

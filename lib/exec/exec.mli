@@ -60,6 +60,12 @@ val map_indexed : ?chunk:int -> jobs:int -> count:int -> (int -> 'a) -> 'a array
     on up to [jobs] domains — for kernels that derive their own seeds from
     the index (e.g. one fixed seed per parameter combination). *)
 
+val map_array : ?chunk:int -> jobs:int -> 'a array -> ('a -> 'b) -> 'b array
+(** [map_array ~jobs xs f] is [Array.map f xs] computed on up to [jobs]
+    domains in work-stealing chunks — the cell-level parallel map used by
+    the matrix runner.  Same failure discipline as {!map_replicas}; [f]
+    must not touch shared mutable state. *)
+
 val reduce_replicas :
   ?chunk:int ->
   jobs:int ->

@@ -1,0 +1,300 @@
+module Splitmix64 = Stratify_prng.Splitmix64
+module Scheduler = Stratify_core.Scheduler
+
+type workload_axis = Async_w | Swarm_w | Edonkey_w
+type backend_axis = Dense_b | Complete_b | Complete_minus_b
+type size_axis = Small | Medium
+
+type fault_axis =
+  | Clean
+  | Loss10
+  | Burst_ge
+  | Jitter
+  | Flapping_partition
+  | Churn_burst
+  | Class_extinction
+
+type cell = {
+  name : string;
+  seed : int;
+  workload : workload_axis;
+  backend : backend_axis;
+  scheduler : Scheduler.policy;
+  size : size_axis;
+  fault : fault_axis;
+  plan : Plan.t;
+}
+
+let workload_name = function Async_w -> "async" | Swarm_w -> "swarm" | Edonkey_w -> "edonkey"
+
+let backend_name = function
+  | Dense_b -> "dense"
+  | Complete_b -> "complete"
+  | Complete_minus_b -> "complete_minus"
+
+let size_name = function Small -> "sm" | Medium -> "md"
+
+let fault_name = function
+  | Clean -> "clean"
+  | Loss10 -> "loss10"
+  | Burst_ge -> "burst_ge"
+  | Jitter -> "jitter"
+  | Flapping_partition -> "flapping_partition"
+  | Churn_burst -> "churn_burst"
+  | Class_extinction -> "class_extinction"
+
+let axes cell =
+  [
+    ("workload", workload_name cell.workload);
+    ("backend", backend_name cell.backend);
+    ("scheduler", Scheduler.policy_name cell.scheduler);
+    ("size", size_name cell.size);
+    ("fault", fault_name cell.fault);
+  ]
+
+(* ---- axis-constraint pruning ---------------------------------------- *)
+
+(* The backend and scheduler axes parameterize the b-matching instance
+   and its fixed-point reference, which only the async protocol
+   exercises (the tick simulators build their own knowledge graphs and
+   have no matching scheduler), and sub-tick latency jitter is
+   meaningless to a tick simulator, so the jitter profile is async-only
+   too.  Loss, partitions, churn and class extinction translate to every
+   workload. *)
+let valid ~workload ~backend ~scheduler ~fault =
+  match workload with
+  | Async_w -> true
+  | Swarm_w | Edonkey_w ->
+      backend = Dense_b && scheduler = Scheduler.Random_poll && fault <> Jitter
+
+let workloads = [ Async_w; Swarm_w; Edonkey_w ]
+let backends = [ Dense_b; Complete_b; Complete_minus_b ]
+let schedulers = [ Scheduler.Random_poll; Scheduler.Worklist ]
+let sizes = [ Small; Medium ]
+
+let faults =
+  [ Clean; Loss10; Burst_ge; Jitter; Flapping_partition; Churn_burst; Class_extinction ]
+
+(* Axis order is the generation order, hence the cell order: workload
+   outermost, fault innermost. *)
+let combos =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun backend ->
+          List.concat_map
+            (fun scheduler ->
+              List.concat_map
+                (fun size ->
+                  List.filter_map
+                    (fun fault ->
+                      if valid ~workload ~backend ~scheduler ~fault then
+                        Some (workload, backend, scheduler, size, fault)
+                      else None)
+                    faults)
+                sizes)
+            schedulers)
+        backends)
+    workloads
+
+let cardinality = List.length combos
+
+(* ---- deterministic per-cell seeds ----------------------------------- *)
+
+(* FNV-1a over the cell name folded into the matrix seed, finished with
+   the SplitMix64 avalanche: name-keyed, so a cell keeps its seed when
+   axes are added around it, and two same-seed expansions agree
+   byte-for-byte. *)
+let cell_seed ~matrix_seed ~name =
+  let h = ref (Int64.logxor 0xcbf29ce484222325L (Int64.of_int matrix_seed)) in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    name;
+  Int64.to_int (Int64.logand (Splitmix64.mix !h) 0x3FFF_FFFFL)
+
+(* ---- per-cell plan expansion ---------------------------------------- *)
+
+let clean_net =
+  {
+    Plan.latency = Plan.Constant 0.05;
+    loss = Plan.No_loss;
+    duplicate = 0.;
+    reorder = 0.;
+    reorder_spread = 0.;
+  }
+
+let burst_loss = Plan.Burst { p_gb = 0.05; p_bg = 0.25; loss_good = 0.01; loss_bad = 0.5 }
+
+let net_of_fault = function
+  | Clean | Flapping_partition | Class_extinction -> clean_net
+  | Loss10 -> { clean_net with Plan.loss = Plan.Iid 0.1 }
+  | Burst_ge | Churn_burst -> { clean_net with Plan.loss = burst_loss }
+  | Jitter ->
+      {
+        clean_net with
+        Plan.latency = Plan.Jitter { base = 0.05; spread = 0.3 };
+        loss = Plan.Iid 0.05;
+      }
+
+let halves_at t = { Plan.at = t; groups = Plan.Halves }
+let heal_at t = { Plan.at = t; groups = Plan.Heal }
+
+(* Isolate the contiguous id block [lo, hi) — ids are ranks, so a block
+   is a bandwidth class. *)
+let block_at t ~n ~lo ~hi =
+  {
+    Plan.at = t;
+    groups = Plan.Groups (Array.init n (fun p -> if p >= lo && p < hi then 1 else 0));
+  }
+
+(* Partition schedules over a horizon [h] (simulated time for async
+   plans, ticks for swarm/edonkey — the caller passes the right unit). *)
+let partitions_of_fault fault ~n ~h =
+  match fault with
+  | Clean | Loss10 | Burst_ge | Jitter -> []
+  | Flapping_partition ->
+      [ halves_at (0.20 *. h); heal_at (0.35 *. h); halves_at (0.50 *. h); heal_at (0.65 *. h) ]
+  | Churn_burst ->
+      (* Correlated churn: whole contiguous rank blocks vanish and
+         return, under burst loss — the Legout-style adversarial cell. *)
+      [
+        block_at (0.25 *. h) ~n ~lo:0 ~hi:(n / 4);
+        heal_at (0.40 *. h);
+        block_at (0.55 *. h) ~n ~lo:(n / 4) ~hi:(n / 2);
+        heal_at (0.70 *. h);
+      ]
+  | Class_extinction ->
+      (* The top bandwidth class disappears for good. *)
+      [ block_at (0.45 *. h) ~n ~lo:0 ~hi:(max 2 (n / 8)) ]
+
+let async_assertions fault ~n ~horizon ~scheduler =
+  let base =
+    match fault with
+    | Clean ->
+        [
+          Plan.Drained;
+          Plan.Converged_by { deadline = 0.8 *. horizon; disorder_below = 0.08 };
+          Plan.Final_disorder_below 0.02;
+          Plan.Inconsistency_below 0;
+        ]
+    | Loss10 -> [ Plan.Drained; Plan.Final_disorder_below 0.10; Plan.Inconsistency_below 20 ]
+    | Burst_ge -> [ Plan.Drained; Plan.Final_disorder_below 0.15; Plan.Inconsistency_below 30 ]
+    | Jitter ->
+        [
+          Plan.Drained;
+          Plan.Converged_by { deadline = 0.9 *. horizon; disorder_below = 0.15 };
+          Plan.Final_disorder_below 0.10;
+        ]
+    | Flapping_partition ->
+        [ Plan.Drained; Plan.Final_disorder_below 0.15; Plan.Inconsistency_below 20 ]
+    | Churn_burst -> [ Plan.Drained; Plan.Final_disorder_below 0.30; Plan.Inconsistency_below 40 ]
+    | Class_extinction ->
+        [ Plan.Drained; Plan.Final_disorder_below 0.60; Plan.Inconsistency_below n ]
+  in
+  match scheduler with
+  | Scheduler.Worklist -> base @ [ Plan.Scheduler_fixed_point ]
+  | Scheduler.Random_poll -> base
+
+let stratification_tolerance = function
+  | Clean -> 0.05
+  | Loss10 -> 0.35
+  | Burst_ge -> 0.40
+  | Jitter -> 0.40
+  | Flapping_partition -> 0.45
+  | Churn_burst -> 0.50
+  | Class_extinction -> 0.60
+
+let expand_cell ~matrix_seed (workload, backend, scheduler, size, fault) =
+  let name =
+    Printf.sprintf "%s-%s-%s-%s-%s" (workload_name workload) (backend_name backend)
+      (Scheduler.policy_name scheduler) (size_name size) (fault_name fault)
+  in
+  let seed = cell_seed ~matrix_seed ~name in
+  let plan =
+    match workload with
+    | Async_w ->
+        (* Near-complete acceptance graphs converge far more slowly than
+           sparse ones (every peer has ~n acceptable mates to explore),
+           so the complete backends get longer horizons and a higher
+           initiative rate; with these the clean cells reach disorder 0. *)
+        let n, d, b, horizon, rate =
+          match (size, backend) with
+          | Small, Dense_b -> (40, 8., 1, 60., 1.)
+          | Medium, Dense_b -> (80, 10., 2, 80., 1.)
+          | Small, (Complete_b | Complete_minus_b) -> (40, 8., 1, 150., 4.)
+          | Medium, (Complete_b | Complete_minus_b) -> (80, 10., 2, 300., 6.)
+        in
+        let backend_spec =
+          match backend with
+          | Dense_b -> Plan.Dense
+          | Complete_b -> Plan.Complete
+          | Complete_minus_b -> Plan.Complete_minus { removed = max 1 (n / 10) }
+        in
+        {
+          Plan.name;
+          seed;
+          workload =
+            Plan.Async
+              { n; d; b; horizon; initiative_rate = rate; backend = backend_spec; scheduler };
+          net = net_of_fault fault;
+          partitions = partitions_of_fault fault ~n ~h:horizon;
+          assertions = async_assertions fault ~n ~horizon ~scheduler;
+        }
+    | Swarm_w ->
+        let n, d, ticks, warmup =
+          match size with Small -> (30, 10., 240, 60) | Medium -> (60, 16., 420, 120)
+        in
+        {
+          Plan.name;
+          seed;
+          workload = Plan.Swarm { n; d; ticks; warmup };
+          net = net_of_fault fault;
+          partitions = partitions_of_fault fault ~n ~h:(float_of_int ticks);
+          assertions = [ Plan.Stratification_within (stratification_tolerance fault) ];
+        }
+    | Edonkey_w ->
+        let n, d, ticks, warmup =
+          match size with Small -> (30, 10., 200, 50) | Medium -> (60, 16., 360, 90)
+        in
+        {
+          Plan.name;
+          seed;
+          workload = Plan.Edonkey { n; d; slots = 4; ticks; warmup };
+          net = net_of_fault fault;
+          partitions = partitions_of_fault fault ~n ~h:(float_of_int ticks);
+          assertions = [ Plan.Stratification_within (stratification_tolerance fault) ];
+        }
+  in
+  { name; seed; workload; backend; scheduler; size; fault; plan }
+
+let generate ~seed = Array.of_list (List.map (expand_cell ~matrix_seed:seed) combos)
+
+(* ---- selection ------------------------------------------------------ *)
+
+let shard cells ~index ~of_ =
+  if of_ < 1 then invalid_arg "Matrix.shard: need of_ >= 1";
+  if index < 1 || index > of_ then
+    invalid_arg (Printf.sprintf "Matrix.shard: index %d outside 1..%d" index of_);
+  Array.of_list (List.filteri (fun i _ -> i mod of_ = index - 1) (Array.to_list cells))
+
+let contains s sub =
+  let ls = String.length s and lsub = String.length sub in
+  let rec at i = i + lsub <= ls && (String.sub s i lsub = sub || at (i + 1)) in
+  lsub = 0 || at 0
+
+let filter cells ~substring =
+  Array.of_list (List.filter (fun c -> contains c.name substring) (Array.to_list cells))
+
+(* ---- determinism fingerprint ---------------------------------------- *)
+
+let checksum cells =
+  let acc = ref 0xcbf29ce484222325L in
+  Array.iter
+    (fun c ->
+      acc := Splitmix64.mix (Int64.logxor !acc (Int64.of_int c.seed));
+      String.iter
+        (fun ch ->
+          acc := Int64.mul (Int64.logxor !acc (Int64.of_int (Char.code ch))) 0x100000001b3L)
+        c.name)
+    cells;
+  Int64.to_int (Int64.logand (Splitmix64.mix !acc) 0x3FFF_FFFFL)

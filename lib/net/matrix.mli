@@ -1,0 +1,82 @@
+(** Scenario-matrix generator — the cross-product of fault scenarios.
+
+    Expands declarative axes ({e workload} × {e backend} × {e scheduler}
+    × {e size} × {e fault profile}) into concrete in-memory {!Plan.t}
+    values with auto-chosen assertions, pruning combinations that mean
+    nothing (backend/scheduler/jitter are async-only — see {!valid}).
+    Generation is deterministic: cell order is the fixed axis order and
+    per-cell seeds are name-keyed hashes of the matrix seed, so the same
+    matrix seed always yields the identical cell list, independent of
+    shard or filter selection. *)
+
+module Scheduler := Stratify_core.Scheduler
+
+type workload_axis = Async_w | Swarm_w | Edonkey_w
+type backend_axis = Dense_b | Complete_b | Complete_minus_b
+type size_axis = Small | Medium
+
+type fault_axis =
+  | Clean
+  | Loss10  (** 10% i.i.d. per-message (or per-tick-link) loss *)
+  | Burst_ge  (** Gilbert–Elliott bursty loss *)
+  | Jitter  (** latency jitter + light loss; async-only *)
+  | Flapping_partition  (** halves split, heal, split again, heal *)
+  | Churn_burst
+      (** correlated churn: contiguous rank blocks vanish and return,
+          under Gilbert–Elliott burst loss *)
+  | Class_extinction  (** the top bandwidth class is isolated for good *)
+
+type cell = {
+  name : string;  (** ["workload-backend-scheduler-size-fault"], unique *)
+  seed : int;  (** name-keyed, derived from the matrix seed *)
+  workload : workload_axis;
+  backend : backend_axis;
+  scheduler : Scheduler.policy;
+  size : size_axis;
+  fault : fault_axis;
+  plan : Plan.t;  (** validated, ready for {!Plan.run_pure} *)
+}
+
+val workload_name : workload_axis -> string
+val backend_name : backend_axis -> string
+val size_name : size_axis -> string
+val fault_name : fault_axis -> string
+
+val axes : cell -> (string * string) list
+(** Axis name → value pairs, in axis order (for reports/manifests). *)
+
+val valid :
+  workload:workload_axis ->
+  backend:backend_axis ->
+  scheduler:Scheduler.policy ->
+  fault:fault_axis ->
+  bool
+(** The pruning predicate: async admits everything; swarm/edonkey only
+    [Dense_b] × [Random_poll] and every fault but [Jitter]. *)
+
+val cardinality : int
+(** Number of cells after pruning — a generator constant, independent of
+    the matrix seed ([manifest_check matrix] cross-checks summaries
+    against it). *)
+
+val cell_seed : matrix_seed:int -> name:string -> int
+(** The per-cell seed derivation (FNV-1a over the name folded into the
+    matrix seed, SplitMix64-finished, masked positive).  Exposed for
+    tests. *)
+
+val generate : seed:int -> cell array
+(** Expand the full pruned cross-product.  Deterministic: same [seed] →
+    identical array (names, seeds, plans). *)
+
+val shard : cell array -> index:int -> of_:int -> cell array
+(** Round-robin slice [index] of [of_] (1-based): cell [i] lands in
+    shard [(i mod of_) + 1].  Shards partition the input disjointly and
+    exhaustively.  Raises [Invalid_argument] unless
+    [1 <= index <= of_]. *)
+
+val filter : cell array -> substring:string -> cell array
+(** Cells whose name contains [substring] (order preserved). *)
+
+val checksum : cell array -> int
+(** Order-sensitive fingerprint of (name, seed) pairs — a cheap
+    determinism pin for bench and tests. *)

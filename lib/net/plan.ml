@@ -6,6 +6,7 @@ module Gen = Stratify_graph.Gen
 module Net = Stratify_net.Net
 module Swarm = Stratify_bittorrent.Swarm
 module Bt_metrics = Stratify_bittorrent.Metrics
+module Queue_sim = Stratify_edonkey.Queue_sim
 module Profile = Stratify_bandwidth.Profile
 module Saroiu = Stratify_bandwidth.Saroiu
 open Stratify_core
@@ -32,9 +33,20 @@ type groups_spec = Halves | Groups of int array | Heal
 
 type partition_spec = { at : float; groups : groups_spec }
 
+type backend_spec = Dense | Complete | Complete_minus of { removed : int }
+
 type workload =
-  | Async of { n : int; d : float; b : int; horizon : float; initiative_rate : float }
+  | Async of {
+      n : int;
+      d : float;
+      b : int;
+      horizon : float;
+      initiative_rate : float;
+      backend : backend_spec;
+      scheduler : Scheduler.policy;
+    }
   | Swarm of { n : int; d : float; ticks : int; warmup : int }
+  | Edonkey of { n : int; d : float; slots : int; ticks : int; warmup : int }
 
 type assertion =
   | Drained
@@ -42,6 +54,7 @@ type assertion =
   | Inconsistency_below of int
   | Converged_by of { deadline : float; disorder_below : float }
   | Stratification_within of float
+  | Scheduler_fixed_point
 
 type t = {
   name : string;
@@ -119,6 +132,25 @@ let groups_of_json = function
 let partition_of_json j =
   { at = Jsonx.get_float (req "at" j); groups = groups_of_json (req "groups" j) }
 
+let backend_of_json j =
+  match Jsonx.member "backend" j with
+  | Jsonx.Null -> Dense
+  | v -> (
+      match Jsonx.get_string v with
+      | "dense" -> Dense
+      | "complete" -> Complete
+      | "complete_minus" -> Complete_minus { removed = opt_int "removed" ~default:0 j }
+      | k -> parse_fail "plan: unknown backend %S (want dense/complete/complete_minus)" k)
+
+let scheduler_of_json j =
+  match Jsonx.member "scheduler" j with
+  | Jsonx.Null -> Scheduler.Random_poll
+  | v -> (
+      let s = Jsonx.get_string v in
+      match Scheduler.policy_of_string s with
+      | Some p -> p
+      | None -> parse_fail "plan: unknown scheduler %S (want random/worklist)" s)
+
 let workload_of_json j =
   match Jsonx.get_string (req "kind" j) with
   | "async" ->
@@ -129,12 +161,23 @@ let workload_of_json j =
           b = opt_int "b" ~default:1 j;
           horizon = opt_float "horizon" ~default:100. j;
           initiative_rate = opt_float "initiative_rate" ~default:1. j;
+          backend = backend_of_json j;
+          scheduler = scheduler_of_json j;
         }
   | "swarm" ->
       Swarm
         {
           n = Jsonx.get_int (req "n" j);
           d = opt_float "d" ~default:20. j;
+          ticks = opt_int "ticks" ~default:2000 j;
+          warmup = opt_int "warmup" ~default:500 j;
+        }
+  | "edonkey" ->
+      Edonkey
+        {
+          n = Jsonx.get_int (req "n" j);
+          d = opt_float "d" ~default:20. j;
+          slots = opt_int "slots" ~default:4 j;
           ticks = opt_int "ticks" ~default:2000 j;
           warmup = opt_int "warmup" ~default:500 j;
         }
@@ -152,29 +195,43 @@ let assertion_of_json j =
           disorder_below = Jsonx.get_float (req "disorder_below" j);
         }
   | "stratification_within" -> Stratification_within (Jsonx.get_float (req "tolerance" j))
+  | "scheduler_fixed_point" -> Scheduler_fixed_point
   | k -> parse_fail "plan: unknown assertion kind %S" k
 
 let validate t =
   let async_only what =
     match t.workload with
     | Async _ -> ()
-    | Swarm _ -> invalid_arg (Printf.sprintf "plan %s: %s applies to async workloads only" t.name what)
+    | Swarm _ | Edonkey _ ->
+        invalid_arg (Printf.sprintf "plan %s: %s applies to async workloads only" t.name what)
+  in
+  let tick_guards n ticks warmup =
+    if n < 2 then invalid_arg (Printf.sprintf "plan %s: need n >= 2" t.name);
+    if warmup < 0 || warmup >= ticks then
+      invalid_arg (Printf.sprintf "plan %s: need 0 <= warmup < ticks" t.name)
   in
   (match t.workload with
-  | Async { n; horizon; initiative_rate; _ } ->
+  | Async { n; horizon; initiative_rate; backend; _ } ->
       if n < 2 then invalid_arg (Printf.sprintf "plan %s: need n >= 2" t.name);
       if horizon <= 0. then invalid_arg (Printf.sprintf "plan %s: horizon must be positive" t.name);
       if initiative_rate <= 0. then
-        invalid_arg (Printf.sprintf "plan %s: initiative_rate must be positive" t.name)
-  | Swarm { n; ticks; warmup; _ } ->
-      if n < 2 then invalid_arg (Printf.sprintf "plan %s: need n >= 2" t.name);
-      if warmup < 0 || warmup >= ticks then
-        invalid_arg (Printf.sprintf "plan %s: need 0 <= warmup < ticks" t.name));
+        invalid_arg (Printf.sprintf "plan %s: initiative_rate must be positive" t.name);
+      (match backend with
+      | Complete_minus { removed } when removed < 0 || removed > n - 2 ->
+          invalid_arg
+            (Printf.sprintf "plan %s: complete_minus must keep >= 2 of %d peers (removed %d)"
+               t.name n removed)
+      | _ -> ())
+  | Swarm { n; ticks; warmup; _ } -> tick_guards n ticks warmup
+  | Edonkey { n; slots; ticks; warmup; _ } ->
+      tick_guards n ticks warmup;
+      if slots < 1 then invalid_arg (Printf.sprintf "plan %s: need slots >= 1" t.name));
   List.iter
     (function
       | Drained -> async_only "\"drained\""
       | Final_disorder_below _ -> async_only "\"final_disorder_below\""
       | Inconsistency_below _ -> async_only "\"inconsistency_below\""
+      | Scheduler_fixed_point -> async_only "\"scheduler_fixed_point\""
       | Converged_by { deadline; _ } ->
           async_only "\"converged_by\"";
           (match t.workload with
@@ -185,10 +242,11 @@ let validate t =
           | _ -> ())
       | Stratification_within _ -> (
           match t.workload with
-          | Swarm _ -> ()
+          | Swarm _ | Edonkey _ -> ()
           | Async _ ->
               invalid_arg
-                (Printf.sprintf "plan %s: \"stratification_within\" applies to swarm workloads only"
+                (Printf.sprintf
+                   "plan %s: \"stratification_within\" applies to tick workloads (swarm/edonkey) only"
                    t.name)))
     t.assertions;
   List.iter
@@ -197,7 +255,24 @@ let validate t =
     t.partitions;
   t
 
+(* Reject unknown top-level fields instead of silently ignoring them: a
+   typo'd field ("asserts", "partiton") would otherwise make the plan
+   assert nothing and "pass" vacuously. *)
+let known_fields = [ "name"; "seed"; "workload"; "net"; "partitions"; "assertions" ]
+
+let check_no_unknown_fields j =
+  match j with
+  | Jsonx.Obj members ->
+      List.iter
+        (fun (key, _) ->
+          if not (List.mem key known_fields) then
+            parse_fail "plan: unknown field %S (expected one of %s)" key
+              (String.concat "/" known_fields))
+        members
+  | _ -> parse_fail "plan: expected a JSON object"
+
 let of_json j =
+  check_no_unknown_fields j;
   validate
     {
       name = Jsonx.get_string (req "name" j);
@@ -239,22 +314,38 @@ let groups_to_json = function
   | Groups g -> Jsonx.List (Array.to_list (Array.map (fun x -> Jsonx.Int x) g))
 
 let workload_to_json = function
-  | Async { n; d; b; horizon; initiative_rate } ->
+  | Async { n; d; b; horizon; initiative_rate; backend; scheduler } ->
       Jsonx.Obj
-        [
-          ("kind", Jsonx.String "async");
-          ("n", Jsonx.Int n);
-          ("d", Jsonx.Float d);
-          ("b", Jsonx.Int b);
-          ("horizon", Jsonx.Float horizon);
-          ("initiative_rate", Jsonx.Float initiative_rate);
-        ]
+        ([
+           ("kind", Jsonx.String "async");
+           ("n", Jsonx.Int n);
+           ("d", Jsonx.Float d);
+           ("b", Jsonx.Int b);
+           ("horizon", Jsonx.Float horizon);
+           ("initiative_rate", Jsonx.Float initiative_rate);
+         ]
+        @ (match backend with
+          | Dense -> [ ("backend", Jsonx.String "dense") ]
+          | Complete -> [ ("backend", Jsonx.String "complete") ]
+          | Complete_minus { removed } ->
+              [ ("backend", Jsonx.String "complete_minus"); ("removed", Jsonx.Int removed) ])
+        @ [ ("scheduler", Jsonx.String (Scheduler.policy_name scheduler)) ])
   | Swarm { n; d; ticks; warmup } ->
       Jsonx.Obj
         [
           ("kind", Jsonx.String "swarm");
           ("n", Jsonx.Int n);
           ("d", Jsonx.Float d);
+          ("ticks", Jsonx.Int ticks);
+          ("warmup", Jsonx.Int warmup);
+        ]
+  | Edonkey { n; d; slots; ticks; warmup } ->
+      Jsonx.Obj
+        [
+          ("kind", Jsonx.String "edonkey");
+          ("n", Jsonx.Int n);
+          ("d", Jsonx.Float d);
+          ("slots", Jsonx.Int slots);
           ("ticks", Jsonx.Int ticks);
           ("warmup", Jsonx.Int warmup);
         ]
@@ -274,6 +365,7 @@ let assertion_to_json = function
         ]
   | Stratification_within tol ->
       Jsonx.Obj [ ("kind", Jsonx.String "stratification_within"); ("tolerance", Jsonx.Float tol) ]
+  | Scheduler_fixed_point -> Jsonx.Obj [ ("kind", Jsonx.String "scheduler_fixed_point") ]
 
 let to_json t =
   Jsonx.Obj
@@ -357,6 +449,7 @@ let assertion_kind = function
   | Inconsistency_below _ -> "inconsistency_below"
   | Converged_by _ -> "converged_by"
   | Stratification_within _ -> "stratification_within"
+  | Scheduler_fixed_point -> "scheduler_fixed_point"
 
 (* A runner handed an assertion it cannot evaluate means the plan
    bypassed [validate] (constructed directly instead of parsed) or
@@ -369,11 +462,43 @@ let dispatch_fail plan ~runner a =
        "plan %s: assertion %S cannot be evaluated by the %s runner (was Plan.validate run?)"
        plan.name (assertion_kind a) runner)
 
-let run_async plan ~n ~d ~b ~horizon ~initiative_rate =
+(* Evenly spaced ranks, so a removal set spans every bandwidth class. *)
+let spread_removed ~n ~removed = List.init removed (fun i -> i * n / removed)
+
+let run_async plan ~n ~d ~b ~horizon ~initiative_rate ~backend ~scheduler =
   let rng = Rng.create plan.seed in
-  let graph = Gen.gnd rng ~n ~d in
-  let inst = Instance.create ~graph ~b:(Array.make n b) () in
-  let stable = Greedy.stable_config inst in
+  let inst =
+    match backend with
+    | Dense ->
+        let graph = Gen.gnd rng ~n ~d in
+        Instance.create ~graph ~b:(Array.make n b) ()
+    | Complete -> Instance.complete ~n ~b:(Array.make n b) ()
+    | Complete_minus { removed } ->
+        Instance.complete_minus ~n ~b:(Array.make n b)
+          ~removed:(spread_removed ~n ~removed) ()
+  in
+  let greedy = Greedy.stable_config inst in
+  (* The worklist fixed point replays Theorem 1's constructive schedule:
+     drain the dirty set from the empty configuration with the best-mate
+     strategy (which consumes no randomness).  By Tan's uniqueness it must
+     land on Algorithm 1's configuration — the [scheduler_fixed_point]
+     assertion pins that, and under [Worklist] the disorder reference
+     itself is the drained configuration, so any divergence would also
+     surface in every disorder bound. *)
+  let worklist_config =
+    lazy
+      (let cfg = Config.empty inst in
+       let queue = Scheduler.create ~n in
+       Scheduler.seed_all queue;
+       let state = Initiative.create_state inst in
+       ignore (Scheduler.drain queue cfg state Initiative.Best_mate (Rng.create plan.seed));
+       cfg)
+  in
+  let stable =
+    match scheduler with
+    | Scheduler.Random_poll -> greedy
+    | Scheduler.Worklist -> Lazy.force worklist_config
+  in
   let net = Net.create rng (net_faults plan.net) in
   Net.set_partition_schedule net
     (List.map (fun p -> { Net.at = p.at; groups = resolve_groups n p.groups }) plan.partitions);
@@ -422,6 +547,16 @@ let run_async plan ~n ~d ~b ~horizon ~initiative_rate =
             pass_fail "converged_by"
               (v <= disorder_below)
               (Printf.sprintf "disorder %.6f at t=%g vs bound %g" v deadline disorder_below)
+        | Scheduler_fixed_point ->
+            let agrees = Config.equal (Lazy.force worklist_config) greedy in
+            pass_fail "scheduler_fixed_point" agrees
+              (if agrees then
+                 Printf.sprintf "worklist fixed point = Algorithm 1 (%d edges)"
+                   (Config.edge_count greedy)
+               else
+                 Printf.sprintf "worklist fixed point diverges from Algorithm 1 (%d vs %d edges)"
+                   (Config.edge_count (Lazy.force worklist_config))
+                   (Config.edge_count greedy))
         | Stratification_within _ as a -> dispatch_fail plan ~runner:"async" a)
       plan.assertions
   in
@@ -475,19 +610,72 @@ let run_swarm plan ~n ~d ~ticks ~warmup =
   in
   (checks, metrics)
 
+(* The eDonkey twin of [run_swarm]: same tick-level fault model, same
+   fault-free-twin stratification comparison, over the credit-queue
+   simulator instead of the TFT swarm. *)
+let run_edonkey plan ~n ~d ~slots ~ticks ~warmup =
+  let loss = Net.stationary_loss (net_loss plan.net.loss) in
+  let schedule =
+    List.map
+      (fun p -> { Net.Tick.at_tick = int_of_float p.at; groups = resolve_groups n p.groups })
+      plan.partitions
+  in
+  let build ~faulty =
+    let rng = Rng.create plan.seed in
+    let uploads = Profile.rank_bandwidths Saroiu.profile ~n in
+    let faults =
+      if faulty && (loss > 0. || schedule <> []) then
+        Some (Net.Tick.create ~seed:plan.seed ~loss ~schedule ())
+      else None
+    in
+    let sim =
+      Queue_sim.create rng { (Queue_sim.default_params ~uploads) with Queue_sim.d; slots; faults }
+    in
+    Queue_sim.run sim ~ticks:warmup;
+    Queue_sim.reset_counters sim;
+    Queue_sim.run sim ~ticks:(ticks - warmup);
+    sim
+  in
+  let sim = build ~faulty:true in
+  let strat = Queue_sim.stratification_correlation sim in
+  Counter.add c_strat_scaled (int_of_float ((strat +. 1.) *. 1e6));
+  let baseline =
+    if List.exists (function Stratification_within _ -> true | _ -> false) plan.assertions then
+      Some (Queue_sim.stratification_correlation (build ~faulty:false))
+    else None
+  in
+  let checks =
+    List.map
+      (function
+        | Stratification_within tol ->
+            let base = Option.get baseline in
+            pass_fail "stratification_within"
+              (Float.abs (strat -. base) <= tol)
+              (Printf.sprintf "stratification %.4f vs fault-free %.4f (tolerance %g)" strat base tol)
+        | a -> dispatch_fail plan ~runner:"edonkey" a)
+      plan.assertions
+  in
+  let metrics =
+    ("stratification", strat)
+    :: ("mean_wait", Queue_sim.mean_wait sim)
+    :: (match baseline with None -> [] | Some b -> [ ("baseline_stratification", b) ])
+  in
+  (checks, metrics)
+
+let execute plan =
+  match plan.workload with
+  | Async { n; d; b; horizon; initiative_rate; backend; scheduler } ->
+      run_async plan ~n ~d ~b ~horizon ~initiative_rate ~backend ~scheduler
+  | Swarm { n; d; ticks; warmup } -> run_swarm plan ~n ~d ~ticks ~warmup
+  | Edonkey { n; d; slots; ticks; warmup } -> run_edonkey plan ~n ~d ~slots ~ticks ~warmup
+
 let run plan =
   let module Obs = Stratify_obs in
   Obs.Counter.reset_all ();
   Obs.Span.reset ();
   Obs.Control.set_enabled true;
   let checks, metrics =
-    Fun.protect
-      ~finally:(fun () -> Obs.Control.set_enabled false)
-      (fun () ->
-        match plan.workload with
-        | Async { n; d; b; horizon; initiative_rate } ->
-            run_async plan ~n ~d ~b ~horizon ~initiative_rate
-        | Swarm { n; d; ticks; warmup } -> run_swarm plan ~n ~d ~ticks ~warmup)
+    Fun.protect ~finally:(fun () -> Obs.Control.set_enabled false) (fun () -> execute plan)
   in
   Obs.Control.with_enabled true (fun () ->
       List.iter
@@ -501,3 +689,38 @@ let run plan =
           ~metrics ())
   in
   { plan; passed = List.for_all (fun c -> c.ok) checks; checks; manifest }
+
+let run_pure ?(kind = "matrix") ?git plan =
+  let module Obs = Stratify_obs in
+  (* Observability stays off for the whole execution, so nothing touches
+     the global counter/span tables: many plans can run concurrently on
+     the Exec domain pool without corrupting each other's manifests.  The
+     price is a counter-free manifest — its metrics (and check verdicts)
+     are thread-local values, deterministic functions of the plan. *)
+  let checks, metrics = Obs.Control.with_enabled false (fun () -> execute plan) in
+  let passed = List.for_all (fun c -> c.ok) checks in
+  let metrics =
+    metrics
+    @ [
+        ("checks_passed", float_of_int (List.length (List.filter (fun c -> c.ok) checks)));
+        ("checks_failed", float_of_int (List.length (List.filter (fun c -> not c.ok) checks)));
+        ("passed", if passed then 1. else 0.);
+      ]
+  in
+  let manifest =
+    {
+      Manifest.schema_version = Manifest.schema_version;
+      kind;
+      name = plan.name;
+      seed = plan.seed;
+      scale = 1.0;
+      jobs = 1;
+      git = (match git with Some g -> g | None -> Manifest.git_describe ());
+      cores = Domain.recommended_domain_count ();
+      phases = [];
+      counters = [];
+      histograms = [];
+      metrics;
+    }
+  in
+  { plan; passed; checks; manifest }

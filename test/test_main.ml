@@ -16,6 +16,7 @@ let () =
       ("applications", Test_applications.suite);
       ("async", Test_async.suite);
       ("net", Test_net.suite);
+      ("matrix", Test_matrix.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);

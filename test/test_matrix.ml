@@ -1,0 +1,275 @@
+(* Scenario-matrix generator and report tests: deterministic expansion,
+   JSON round-trips, shard partitioning, baseline regression detection,
+   the Plan.of_json unknown-field bugfix, the scheduler fixed-point
+   assertion, and eDonkey tick faults. *)
+
+module Rng = Stratify_prng.Rng
+module Plan = Stratify_net_plan.Plan
+module Matrix = Stratify_net_plan.Matrix
+module Report = Stratify_cli.Matrix_report
+module Manifest = Stratify_obs.Run_manifest
+module Jsonx = Stratify_obs.Jsonx
+module Queue_sim = Stratify_edonkey.Queue_sim
+module Net = Stratify_net.Net
+
+(* ---- generator ------------------------------------------------------ *)
+
+let test_cardinality () =
+  let cells = Matrix.generate ~seed:42 in
+  Alcotest.(check int) "generate matches cardinality" Matrix.cardinality (Array.length cells);
+  Alcotest.(check bool) "at least 100 cells" true (Matrix.cardinality >= 100)
+
+let test_names_unique () =
+  let cells = Matrix.generate ~seed:42 in
+  let names = List.sort_uniq compare (Array.to_list (Array.map (fun c -> c.Matrix.name) cells)) in
+  Alcotest.(check int) "cell names are unique" (Array.length cells) (List.length names)
+
+let test_deterministic_expansion =
+  Helpers.qtest ~count:30 "matrix: same seed expands to identical cells"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let a = Matrix.generate ~seed and b = Matrix.generate ~seed in
+      a = b && Matrix.checksum a = Matrix.checksum b)
+
+let test_seed_sensitivity () =
+  (* Different matrix seeds must move the per-cell seeds (the cell list
+     shape stays fixed). *)
+  let a = Matrix.generate ~seed:1 and b = Matrix.generate ~seed:2 in
+  Alcotest.(check bool) "checksums differ across matrix seeds" true
+    (Matrix.checksum a <> Matrix.checksum b);
+  Alcotest.(check bool) "names agree across matrix seeds" true
+    (Array.for_all2 (fun x y -> x.Matrix.name = y.Matrix.name) a b)
+
+let test_cells_validate () =
+  (* Every generated plan already passed Plan validation on
+     construction; spot-check the pruning invariants on the cells. *)
+  Array.iter
+    (fun c ->
+      match c.Matrix.workload with
+      | Matrix.Async_w -> ()
+      | Matrix.Swarm_w | Matrix.Edonkey_w ->
+          Alcotest.(check bool)
+            (c.Matrix.name ^ ": tick cells are dense/random/non-jitter")
+            true
+            (c.Matrix.backend = Matrix.Dense_b
+            && c.Matrix.scheduler = Stratify_core.Scheduler.Random_poll
+            && c.Matrix.fault <> Matrix.Jitter))
+    (Matrix.generate ~seed:42)
+
+let test_cell_roundtrip =
+  Helpers.qtest ~count:10 "matrix: every cell round-trips Plan.to_json/of_json"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      Array.for_all
+        (fun c -> Plan.of_json (Plan.to_json c.Matrix.plan) = c.Matrix.plan)
+        (Matrix.generate ~seed))
+
+let test_shard_partition =
+  Helpers.qtest ~count:50 "matrix: shards partition disjointly and exhaustively"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 10))
+    (fun (seed, m) ->
+      let cells = Matrix.generate ~seed in
+      let shards = List.init m (fun i -> Matrix.shard cells ~index:(i + 1) ~of_:m) in
+      let union = List.concat_map Array.to_list shards in
+      let name c = c.Matrix.name in
+      (* Exhaustive: the union is the whole matrix. *)
+      List.sort compare (List.map name union)
+      = List.sort compare (Array.to_list (Array.map name cells))
+      (* Disjoint: no cell appears twice. *)
+      && List.length (List.sort_uniq compare (List.map name union)) = List.length union)
+
+let test_shard_bounds () =
+  let cells = Matrix.generate ~seed:42 in
+  Alcotest.check_raises "index 0 rejected"
+    (Invalid_argument "Matrix.shard: index 0 outside 1..4") (fun () ->
+      ignore (Matrix.shard cells ~index:0 ~of_:4));
+  Alcotest.check_raises "index > of_ rejected"
+    (Invalid_argument "Matrix.shard: index 5 outside 1..4") (fun () ->
+      ignore (Matrix.shard cells ~index:5 ~of_:4))
+
+let test_filter () =
+  let cells = Matrix.generate ~seed:42 in
+  let swarm = Matrix.filter cells ~substring:"swarm-" in
+  Alcotest.(check bool) "filter keeps only matches" true
+    (Array.length swarm > 0
+    && Array.for_all (fun c -> c.Matrix.workload = Matrix.Swarm_w) swarm)
+
+(* ---- unknown top-level fields (bugfix regression) ------------------- *)
+
+let test_unknown_field_rejected () =
+  let json =
+    Jsonx.of_string
+      {|{ "name": "typo", "seed": 1,
+          "workload": { "kind": "async", "n": 10, "d": 4.0, "horizon": 5.0 },
+          "net": { "latency": { "kind": "constant", "value": 0.05 } },
+          "asserions": [ { "kind": "drained" } ] }|}
+  in
+  match Plan.of_json json with
+  | _ -> Alcotest.fail "typo'd top-level field accepted"
+  | exception Jsonx.Parse_error msg ->
+      Alcotest.(check bool)
+        "error names the offending key" true
+        (Helpers.contains msg "asserions")
+
+(* ---- run_pure and the scheduler fixed point -------------------------- *)
+
+let worklist_plan =
+  {
+    Plan.name = "fixed-point-probe";
+    seed = 11;
+    workload =
+      Plan.Async
+        {
+          n = 30;
+          d = 8.;
+          b = 1;
+          horizon = 40.;
+          initiative_rate = 1.;
+          backend = Plan.Dense;
+          scheduler = Stratify_core.Scheduler.Worklist;
+        };
+    net =
+      {
+        Plan.latency = Plan.Constant 0.05;
+        loss = Plan.No_loss;
+        duplicate = 0.;
+        reorder = 0.;
+        reorder_spread = 0.;
+      };
+    partitions = [];
+    assertions = [ Plan.Drained; Plan.Scheduler_fixed_point ];
+  }
+
+let test_scheduler_fixed_point () =
+  let result = Plan.run_pure worklist_plan in
+  let check =
+    List.find (fun c -> c.Plan.label = "scheduler_fixed_point") result.Plan.checks
+  in
+  if not check.Plan.ok then
+    Alcotest.failf "worklist fixed point diverged from greedy: %s" check.Plan.detail
+
+let test_run_pure_deterministic () =
+  let a = Plan.run_pure ~git:"pinned" worklist_plan
+  and b = Plan.run_pure ~git:"pinned" worklist_plan in
+  Alcotest.(check string)
+    "byte-identical manifests" (Manifest.to_string a.Plan.manifest)
+    (Manifest.to_string b.Plan.manifest);
+  Alcotest.(check (list (pair string int)))
+    "no counters captured (parallel-safe)" []
+    a.Plan.manifest.Manifest.counters
+
+(* ---- eDonkey tick faults --------------------------------------------- *)
+
+let edonkey_totals faults =
+  let uploads = Array.init 20 (fun i -> 1. +. float_of_int i) in
+  let sim =
+    Queue_sim.create (Rng.create 5)
+      { (Queue_sim.default_params ~uploads) with Queue_sim.d = 8.; faults }
+  in
+  Queue_sim.run sim ~ticks:100;
+  let total = ref 0. in
+  for p = 0 to 19 do
+    total := !total +. Queue_sim.downloaded sim p
+  done;
+  (!total, Queue_sim.link_drops sim)
+
+let test_edonkey_faults () =
+  let clean_total, clean_drops = edonkey_totals None in
+  let lossy_total, lossy_drops =
+    edonkey_totals (Some (Net.Tick.create ~seed:5 ~loss:0.5 ()))
+  in
+  Alcotest.(check int) "fault-free simulator draws nothing" 0 clean_drops;
+  Alcotest.(check bool) "lossy run records drops" true (lossy_drops > 0);
+  Alcotest.(check bool) "loss suppresses transferred bytes" true (lossy_total < clean_total)
+
+(* ---- summaries and regressions ---------------------------------------- *)
+
+let summary_of_cells cells =
+  Report.make ~matrix_seed:42 ~cardinality:Matrix.cardinality cells
+
+let cell_result name seed metrics =
+  {
+    Report.name;
+    seed;
+    axes = [ ("workload", "async") ];
+    passed = true;
+    checks = [];
+    metrics;
+    wall_ms = 1.5;
+  }
+
+let test_summary_roundtrip () =
+  let s =
+    summary_of_cells
+      [ cell_result "b" 2 [ ("final_disorder", 0.125) ]; cell_result "a" 1 [ ("x", 3.5) ] ]
+  in
+  Alcotest.(check bool) "summary round-trips through JSON" true
+    (Report.of_json (Report.to_json s) = s);
+  Alcotest.(check (list string))
+    "cells sorted by name" [ "a"; "b" ]
+    (List.map (fun c -> c.Report.name) s.Report.cells)
+
+let test_merge_disjoint_shards () =
+  let s1 = summary_of_cells [ cell_result "a" 1 [] ]
+  and s2 = summary_of_cells [ cell_result "b" 2 [] ] in
+  let merged = Report.merge [ s1; s2 ] in
+  Alcotest.(check int) "merged cell count" 2 (List.length merged.Report.cells);
+  Alcotest.check_raises "colliding shards rejected"
+    (Invalid_argument "Matrix_report: duplicate cell \"a\"") (fun () ->
+      ignore (Report.merge [ s1; s1 ]))
+
+let test_regression_detection () =
+  let baseline = summary_of_cells [ cell_result "a" 1 [ ("m", 0.5) ] ] in
+  (* Identical run: clean. *)
+  Alcotest.(check int) "no regression on identical metrics" 0
+    (List.length (Report.regressions ~baseline baseline));
+  (* Metric drift. *)
+  let drifted = summary_of_cells [ cell_result "a" 1 [ ("m", 0.75) ] ] in
+  Alcotest.(check bool) "metric drift flagged" true
+    (Report.regressions ~baseline drifted <> []);
+  (* Pass -> fail flip. *)
+  let failed =
+    summary_of_cells
+      [ { (cell_result "a" 1 [ ("m", 0.5) ]) with Report.passed = false } ]
+  in
+  Alcotest.(check bool) "pass->fail flagged" true
+    (List.exists (fun (_, w) -> Helpers.contains w "failed") (Report.regressions ~baseline failed));
+  (* Missing cell. *)
+  let empty = summary_of_cells [] in
+  Alcotest.(check bool) "missing cell flagged" true
+    (List.exists (fun (_, w) -> Helpers.contains w "missing") (Report.regressions ~baseline empty));
+  (* New cells are not regressions. *)
+  let extra = summary_of_cells [ cell_result "a" 1 [ ("m", 0.5) ]; cell_result "z" 9 [] ] in
+  Alcotest.(check int) "new cell is not a regression" 0
+    (List.length (Report.regressions ~baseline extra))
+
+let test_markdown_report () =
+  let baseline = summary_of_cells [ cell_result "a" 1 [ ("m", 0.5) ] ] in
+  let run = summary_of_cells [ cell_result "a" 1 [ ("m", 0.9) ] ] in
+  let md = Report.render_markdown ~baseline run in
+  Alcotest.(check bool) "report names the regression" true
+    (Helpers.contains md "Regressions" && Helpers.contains md "regression");
+  let clean = Report.render_markdown ~baseline baseline in
+  Alcotest.(check bool) "clean report" true (Helpers.contains clean "no regressions")
+
+let suite =
+  [
+    Alcotest.test_case "matrix cardinality >= 100" `Quick test_cardinality;
+    Alcotest.test_case "matrix cell names unique" `Quick test_names_unique;
+    test_deterministic_expansion;
+    Alcotest.test_case "matrix seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "matrix pruning invariants" `Quick test_cells_validate;
+    test_cell_roundtrip;
+    test_shard_partition;
+    Alcotest.test_case "matrix shard bounds" `Quick test_shard_bounds;
+    Alcotest.test_case "matrix filter" `Quick test_filter;
+    Alcotest.test_case "plan rejects unknown top-level field" `Quick test_unknown_field_rejected;
+    Alcotest.test_case "scheduler fixed point equals greedy" `Quick test_scheduler_fixed_point;
+    Alcotest.test_case "run_pure deterministic and counter-free" `Quick
+      test_run_pure_deterministic;
+    Alcotest.test_case "edonkey tick faults" `Quick test_edonkey_faults;
+    Alcotest.test_case "summary JSON round-trip" `Quick test_summary_roundtrip;
+    Alcotest.test_case "merge shard summaries" `Quick test_merge_disjoint_shards;
+    Alcotest.test_case "baseline regression detection" `Quick test_regression_detection;
+    Alcotest.test_case "markdown report" `Quick test_markdown_report;
+  ]

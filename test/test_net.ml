@@ -349,7 +349,17 @@ let sample_plan =
   {
     Plan.name = "roundtrip";
     seed = 9;
-    workload = Plan.Async { n = 30; d = 8.; b = 1; horizon = 40.; initiative_rate = 1. };
+    workload =
+      Plan.Async
+        {
+          n = 30;
+          d = 8.;
+          b = 1;
+          horizon = 40.;
+          initiative_rate = 1.;
+          backend = Plan.Dense;
+          scheduler = Scheduler.Random_poll;
+        };
     net =
       {
         Plan.latency = Plan.Jitter { base = 0.05; spread = 0.1 };
@@ -417,7 +427,17 @@ let test_plan_dispatch_errors () =
     {
       Plan.name = "drifted-async";
       seed = 3;
-      workload = Plan.Async { n = 10; d = 4.; b = 1; horizon = 5.; initiative_rate = 1. };
+      workload =
+        Plan.Async
+          {
+            n = 10;
+            d = 4.;
+            b = 1;
+            horizon = 5.;
+            initiative_rate = 1.;
+            backend = Plan.Dense;
+            scheduler = Scheduler.Random_poll;
+          };
       net;
       partitions = [];
       assertions = [ Plan.Stratification_within 0.1 ];
