@@ -24,6 +24,12 @@
      BENCH_CORE_OUT=path where to write the matching-core run manifest
                          (default BENCH_core.json — also a checked-in
                          baseline)
+     BENCH_PROFILE_OUT=path where to write the per-phase-profile run
+                         manifest (default BENCH_profile.json — also a
+                         checked-in baseline; the bench hard-fails if the
+                         steady-state sweep or the worklist repair
+                         allocates on the minor heap, and the manifest's
+                         profile section carries per-kernel wall/GC rows)
      BENCH_SCHED_OUT=path where to write the scheduler-race run manifest
                          (default BENCH_sched.json — also a checked-in
                          baseline)
@@ -77,6 +83,7 @@ let regenerate () =
       scheduler = Scheduler.Random_poll;
       bands = 1;
       band_overlap = None;
+      profile_phases = false;
     }
   in
   Printf.printf "Regenerating all tables and figures (scale %g, jobs %d)\n%!" scale jobs;
@@ -641,9 +648,7 @@ let bench_core () =
         let hits = ref 0 in
         for _ = 1 to core_reps do
           for p = 0 to n - 1 do
-            match Blocking.best_blocking_mate stable p with
-            | Some _ -> incr hits
-            | None -> ()
+            if Blocking.best_blocking_mate_int stable p >= 0 then incr hits
           done
         done;
         !hits)
@@ -673,13 +678,14 @@ let bench_core () =
   in
   let core_step rng c =
     let p = Rng.int rng n in
-    match Blocking.best_blocking_mate c p with
-    | None -> false
-    | Some q ->
-        if Config.free_slots c p <= 0 then ignore (Config.drop_worst c p);
-        if Config.free_slots c q <= 0 then ignore (Config.drop_worst c q);
-        Config.connect c p q;
-        true
+    let q = Blocking.best_blocking_mate_int c p in
+    q >= 0
+    && begin
+         if Config.free_slots c p <= 0 then ignore (Config.drop_worst_rank c p);
+         if Config.free_slots c q <= 0 then ignore (Config.drop_worst_rank c q);
+         Config.connect c p q;
+         true
+       end
   in
   let active_core, dt_dyn_core =
     time (fun () ->
@@ -738,6 +744,10 @@ let bench_core () =
   let n5 = 100_000 in
   Gc.compact ();
   let live0 = (Gc.stat ()).Gc.live_words in
+  (* Live words only show what survives; the churn through the minor
+     heap (and what the GC promoted) is the allocation-pressure story,
+     so report those deltas too. *)
+  let minor0, promoted0, _ = Gc.counters () in
   let (edges5, clusters5, live5), dt_1e5 =
     time (fun () ->
         let inst5 = Instance.complete ~n:n5 ~b:(Array.make n5 b0) () in
@@ -748,12 +758,17 @@ let bench_core () =
         let live = (Gc.stat ()).Gc.live_words in
         (Config.edge_count cfg5, analysis.Cluster.count, live))
   in
+  let minor1, promoted1, _ = Gc.counters () in
+  let minor_mwords = (minor1 -. minor0) /. 1e6 in
+  let promoted_mwords = (promoted1 -. promoted0) /. 1e6 in
   let live_mb = float_of_int ((live5 - live0) * 8) /. 1e6 in
   let dense_mb = float_of_int n5 *. float_of_int (n5 - 1) *. 8. /. 1e6 in
   Printf.printf "  complete-graph pipeline at n=%d (b0=%d): %.2f s\n" n5 b0 dt_1e5;
   Printf.printf "    %d edges, %d clusters\n" edges5 clusters5;
-  Printf.printf "    live heap for the pipeline: %.1f MB (dense adjacency would be %.0f MB)\n%!"
+  Printf.printf "    live heap for the pipeline: %.1f MB (dense adjacency would be %.0f MB)\n"
     live_mb dense_mb;
+  Printf.printf "    allocation churn: %.1f Mwords minor, %.2f Mwords promoted\n%!" minor_mwords
+    promoted_mwords;
 
   (* Publish as a run manifest: "checksum.*" counters are pinned exactly
      by the bench-regression job; "rate/*" metrics fail CI when more
@@ -786,6 +801,8 @@ let bench_core () =
           ("speedup/fill", rate_fill_core /. rate_fill_legacy);
           ("mem/complete_1e5_live_mb", live_mb);
           ("mem/complete_1e5_dense_equiv_mb", dense_mb);
+          ("mem/complete_1e5_minor_mwords", minor_mwords);
+          ("mem/complete_1e5_promoted_mwords", promoted_mwords);
         ]
       ()
   in
@@ -793,6 +810,173 @@ let bench_core () =
     match Sys.getenv_opt "BENCH_CORE_OUT" with
     | Some p when p <> "" -> p
     | _ -> "BENCH_core.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
+(* Part 4b: per-phase profile + the zero-alloc steady-state gate       *)
+
+(* The allocation contract of the rewritten core (DESIGN.md §13),
+   asserted: once converged, probing and repairing allocate (next to)
+   nothing on the minor heap.  Both windows are RNG-free — the xoshiro
+   state boxes int64s, so only the Best_mate sweep and the worklist
+   drain can be measured at zero words.  Also runs the instrumented
+   build kernels under Stratify_obs.Profile and publishes the per-kernel
+   wall/GC rows as the manifest's "profile" section, which the
+   bench-regression job ratchets. *)
+let bench_profile_phases () =
+  print_endline
+    "\n================ Per-phase profile / zero-alloc steady state ================";
+  let module Obs = Stratify_obs in
+  let n = 10_000 and b0 = 6 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let inst = Instance.complete ~n ~b:(Array.make n b0) () in
+  let stable = Greedy.stable_config inst in
+  let cs_stable = fnv_pairs (fun f -> Config.iter_pairs f stable) in
+
+  (* (a) Steady-state probe sweep: every peer scans for a blocking mate
+     and finds none.  After the warm-up call the measured window must
+     stay off the minor heap entirely; the word budget absorbs the
+     boxed floats of the measurement itself. *)
+  let sweep () =
+    let hits = ref 0 in
+    for p = 0 to n - 1 do
+      if Blocking.best_blocking_mate_int stable p >= 0 then incr hits
+    done;
+    !hits
+  in
+  if sweep () <> 0 then failwith "bench.profile: stable configuration has blocking pairs";
+  let sweep_reps = 50 in
+  let sweep_initiatives = sweep_reps * n in
+  let m0 = Gc.minor_words () in
+  let (), dt_sweep = time (fun () -> for _ = 1 to sweep_reps do ignore (sweep ()) done) in
+  let sweep_minor = Gc.minor_words () -. m0 in
+  let sweep_zero_alloc = sweep_minor <= 256. in
+  if not sweep_zero_alloc then
+    failwith
+      (Printf.sprintf "bench.profile: steady-state sweep allocated %.0f minor words over %d \
+                       initiatives (expected ~0)"
+         sweep_minor sweep_initiatives);
+  let rate_sweep = float_of_int sweep_initiatives /. dt_sweep in
+  Printf.printf "  steady-state sweep: %d initiatives, %.0f minor words (gate: ~0)\n"
+    sweep_initiatives sweep_minor;
+  Printf.printf "    %10.0f initiatives/s\n%!" rate_sweep;
+
+  (* (b) Perturb-and-repair: drop the worst mate of every 10th peer,
+     then drain the worklist with Best_mate (consumes no randomness)
+     back to the unique stable configuration.  The only allocations per
+     window are the drain's shared note closure and its result tuple,
+     so minor words per performed initiative must stay far below 1. *)
+  let sched = Scheduler.create ~n in
+  let state = Initiative.create_state inst in
+  let rng = Rng.create 0 in
+  let perturb () =
+    let p = ref 0 in
+    while !p < n do
+      let q = Config.drop_worst_rank stable !p in
+      if q >= 0 then begin
+        Scheduler.push sched !p;
+        Scheduler.push sched q
+      end;
+      p := !p + 10
+    done
+  in
+  (* Warm-up: one unmeasured cycle to touch every code path once. *)
+  perturb ();
+  ignore (Scheduler.drain sched stable state Initiative.Best_mate rng);
+  let repair_reps = 20 in
+  let total_active = ref 0 in
+  let m1 = Gc.minor_words () in
+  let (), dt_repair =
+    time (fun () ->
+        for _ = 1 to repair_reps do
+          perturb ();
+          let active, _pops = Scheduler.drain sched stable state Initiative.Best_mate rng in
+          total_active := !total_active + active
+        done)
+  in
+  let repair_minor = Gc.minor_words () -. m1 in
+  let repair_words_per_initiative = repair_minor /. float_of_int (max 1 !total_active) in
+  let repair_zero_alloc = repair_words_per_initiative < 1.0 in
+  if not repair_zero_alloc then
+    failwith
+      (Printf.sprintf "bench.profile: repair allocated %.2f minor words per initiative \
+                       (expected < 1)"
+         repair_words_per_initiative);
+  let cs_repaired = fnv_pairs (fun f -> Config.iter_pairs f stable) in
+  if cs_repaired <> cs_stable then failwith "bench.profile: repair missed the stable fixed point";
+  let rate_repair = float_of_int !total_active /. dt_repair in
+  Printf.printf "  perturb+repair: %d initiatives, %.3f minor words/initiative (gate: < 1)\n"
+    !total_active repair_words_per_initiative;
+  Printf.printf "    %10.0f initiatives/s\n%!" rate_repair;
+
+  (* (c) The instrumented build kernels under Profile: arena-reused
+     greedy builds, the cut scan and a banded solve.  The snapshot
+     becomes the manifest's "profile" section. *)
+  Obs.Profile.reset ();
+  Obs.Profile.set_enabled true;
+  let arena = Greedy.create_arena () in
+  let builds = 5 in
+  let rebuilt = ref stable in
+  for _ = 1 to builds do
+    rebuilt := Greedy.stable_config ~arena inst
+  done;
+  if not (Config.equal !rebuilt stable) then
+    failwith "bench.profile: arena-reused build diverged from the fresh build";
+  ignore (Shard.cluster_cuts ~arena inst);
+  let sharded = Shard.stable_config ~jobs:1 ~bands:8 ~arena inst in
+  Obs.Profile.set_enabled false;
+  if not (Config.equal sharded stable) then
+    failwith "bench.profile: sharded build diverged from the serial build";
+  Printf.printf "  profiled kernels:\n";
+  List.iter
+    (fun (r : Obs.Profile.entry) ->
+      Printf.printf "    %-18s %8.2f ms  %3d call(s)  %9d ops  %10.0f minor words\n" r.kernel
+        (r.wall_s *. 1e3) r.count r.ops r.minor_words)
+    (Obs.Profile.snapshot ());
+
+  (* Publish: the zero-alloc verdicts are pinned exactly as checksum
+     counters (so CI fails loudly if a regression slips past the local
+     failwith), rates ratchet via rate/*, and the per-kernel rows ride
+     in the manifest's profile section. *)
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  Obs.Counter.add (Obs.Counter.make "checksum.profile_stable_config") cs_stable;
+  Obs.Counter.add (Obs.Counter.make "checksum.profile_sweep_initiatives") sweep_initiatives;
+  Obs.Counter.add (Obs.Counter.make "checksum.profile_repair_initiatives") !total_active;
+  Obs.Counter.add
+    (Obs.Counter.make "checksum.profile_sweep_zero_alloc")
+    (if sweep_zero_alloc then 1 else 0);
+  Obs.Counter.add
+    (Obs.Counter.make "checksum.profile_repair_zero_alloc")
+    (if repair_zero_alloc then 1 else 0);
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_profile" ~seed:42 ~scale:1.0 ~jobs:1
+      ~metrics:
+        [
+          ("n", float_of_int n);
+          ("b0", float_of_int b0);
+          ("rate/profile_sweep_initiatives", rate_sweep);
+          ("rate/profile_repair_initiatives", rate_repair);
+          ("alloc/sweep_minor_words", sweep_minor);
+          ("alloc/repair_minor_words_per_initiative", repair_words_per_initiative);
+        ]
+      ()
+  in
+  (* Keep later bench sections' manifests profile-free. *)
+  Obs.Profile.reset ();
+  let out =
+    match Sys.getenv_opt "BENCH_PROFILE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_profile.json"
   in
   Obs.Run_manifest.write_path out manifest;
   Printf.printf "  wrote %s\n" out
@@ -1229,6 +1413,7 @@ let () =
   run_benchmarks ();
   bench_parallel_scaling ();
   bench_core ();
+  bench_profile_phases ();
   bench_sched ();
   bench_net ();
   bench_shard ();

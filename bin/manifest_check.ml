@@ -62,7 +62,33 @@ let check_bench ~max_slowdown baseline candidate =
             fail "metric %s: %.2f is over %.1fx slower than baseline %.2f" name rate max_slowdown
               base_rate
         | Some rate -> ok "metric %s: %.2f vs baseline %.2f" name rate base_rate)
-    baseline.M.metrics
+    baseline.M.metrics;
+  (* Profile rows, when the baseline has them: per-kernel wall time per
+     op may not regress past --max-slowdown, and a kernel the baseline
+     records as allocation-free (the zero-alloc discipline, DESIGN.md
+     §13) must stay allocation-free — minor words per op is a ratchet,
+     not a tolerance. *)
+  let zero_alloc_limit = 0.5 (* minor words per op that still counts as "zero" *) in
+  List.iter
+    (fun (b : Stratify_obs.Profile.entry) ->
+      match M.profile_row candidate b.kernel with
+      | None -> fail "profile kernel %s missing from candidate" b.kernel
+      | Some c ->
+          if b.ops > 0 && c.ops > 0 then begin
+            let base_per_op = b.wall_s /. float_of_int b.ops
+            and cand_per_op = c.wall_s /. float_of_int c.ops in
+            if base_per_op > 0. && cand_per_op > base_per_op *. max_slowdown then
+              fail "profile %s: %.3e s/op is over %.1fx slower than baseline %.3e" b.kernel
+                cand_per_op max_slowdown base_per_op
+            else ok "profile %s: %.3e s/op vs baseline %.3e" b.kernel cand_per_op base_per_op;
+            let base_alloc = b.minor_words /. float_of_int b.ops
+            and cand_alloc = c.minor_words /. float_of_int c.ops in
+            if base_alloc <= zero_alloc_limit && cand_alloc > zero_alloc_limit then
+              fail "profile %s: %.2f minor words/op, baseline is allocation-free (%.2f)"
+                b.kernel cand_alloc base_alloc
+            else ok "profile %s: %.2f minor words/op" b.kernel cand_alloc
+          end)
+    baseline.M.profile
 
 let check_golden ~counters golden candidate =
   if golden.M.name <> candidate.M.name then

@@ -84,9 +84,31 @@ let manifest_arg =
   in
   Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"DIR" ~doc)
 
-let context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap =
+let profile_phases_arg =
+  let doc =
+    "Record a per-kernel profile section in the run manifests (requires --manifest): wall time, \
+     entry and operation counts, and GC allocation deltas (minor/major/promoted words) for the \
+     instrumented matching kernels (greedy build, cluster-cut scan, band solves, stitch, \
+     fixup).  Purely additive — without this flag the manifests are byte-identical to previous \
+     versions."
+  in
+  Arg.(value & flag & info [ "profile-phases" ] ~doc)
+
+let context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap
+    profile_phases =
   let ctx =
-    { E.seed; scale; csv_dir; jobs; manifest_dir; n_override; scheduler; bands; band_overlap }
+    {
+      E.seed;
+      scale;
+      csv_dir;
+      jobs;
+      manifest_dir;
+      n_override;
+      scheduler;
+      bands;
+      band_overlap;
+      profile_phases;
+    }
   in
   (* Same checks (and messages) as the library entry point. *)
   match E.validate_context ctx with
@@ -94,8 +116,11 @@ let context seed scale csv_dir jobs manifest_dir n_override scheduler bands band
   | exception Invalid_argument msg -> `Error (false, msg)
 
 let run_experiment entry seed scale csv_dir jobs manifest_dir n_override scheduler bands
-    band_overlap =
-  match context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap with
+    band_overlap profile_phases =
+  match
+    context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap
+      profile_phases
+  with
   | `Error _ as e -> e
   | `Ok ctx ->
       E.run_named ctx entry;
@@ -108,12 +133,16 @@ let experiment_cmd ((name, description, _) as entry) =
     Term.(
       ret
         (const (run_experiment entry) $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg
-       $ n_arg $ scheduler_arg $ bands_arg $ band_overlap_arg))
+       $ n_arg $ scheduler_arg $ bands_arg $ band_overlap_arg $ profile_phases_arg))
 
 let all_cmd =
   let doc = "Run every experiment in sequence." in
-  let run seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap =
-    match context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap with
+  let run seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap
+      profile_phases =
+    match
+      context seed scale csv_dir jobs manifest_dir n_override scheduler bands band_overlap
+        profile_phases
+    with
     | `Error _ as e -> e
     | `Ok ctx ->
         List.iter (E.run_named ctx) E.all;
@@ -123,7 +152,7 @@ let all_cmd =
     Term.(
       ret
         (const run $ seed_arg $ scale_arg $ csv_arg $ jobs_arg $ manifest_arg $ n_arg
-       $ scheduler_arg $ bands_arg $ band_overlap_arg))
+       $ scheduler_arg $ bands_arg $ band_overlap_arg $ profile_phases_arg))
 
 let list_cmd =
   let doc = "List available experiments." in

@@ -16,8 +16,8 @@ let rechoke ?rng ~rates ~slots ~current_optimistic () =
       (fun (id, _, _) -> (id, List.assoc id rates))
       (List.sort
          (fun (_, r1, t1) (_, r2, t2) ->
-           let c = compare r2 r1 in
-           if c <> 0 then c else compare t1 t2)
+           let c = Float.compare r2 r1 in
+           if c <> 0 then c else Int.compare t1 t2)
          tagged)
   in
   let rec take k = function

@@ -20,6 +20,7 @@ type context = {
   scheduler : Scheduler.policy;
   bands : int;
   band_overlap : int option;
+  profile_phases : bool;
 }
 
 let default_context =
@@ -33,6 +34,7 @@ let default_context =
     scheduler = Scheduler.Random_poll;
     bands = 1;
     band_overlap = None;
+    profile_phases = false;
   }
 
 (* Contexts also arrive from library callers (the bench harness builds
@@ -283,7 +285,7 @@ let table1 ctx =
     in
     let median f =
       let values = Array.map f runs in
-      Array.sort compare values;
+      Array.sort Float.compare values;
       values.(Array.length values / 2)
     in
     let point =
@@ -651,7 +653,7 @@ let strategies_ablation ctx =
       done;
       let median l =
         let a = Array.of_list l in
-        Array.sort compare a;
+        Array.sort Float.compare a;
         if Array.length a = 0 then Float.nan else a.(Array.length a / 2)
       in
       ignore
@@ -689,7 +691,7 @@ let scaling ctx =
           | None -> Float.nan)
     in
     let a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) (Array.to_list runs)) in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     a.(Array.length a / 2)
   in
   let ns = [| 125; 250; 500; 1000 |] in
@@ -1248,9 +1250,13 @@ let run_named ctx (name, _desc, f) =
       Obs.Counter.reset_all ();
       Obs.Histogram.reset_all ();
       Obs.Span.reset ();
+      Obs.Profile.reset ();
       Obs.Control.set_enabled true;
+      if ctx.profile_phases then Obs.Profile.set_enabled true;
       Fun.protect
-        ~finally:(fun () -> Obs.Control.set_enabled false)
+        ~finally:(fun () ->
+          Obs.Control.set_enabled false;
+          Obs.Profile.set_enabled false)
         (fun () -> Obs.Span.with_ name (fun () -> f ctx));
       let manifest =
         Obs.Run_manifest.capture ~kind:"experiment" ~name ~seed:ctx.seed ~scale:ctx.scale

@@ -18,6 +18,7 @@ type context = {
   scheduler : Stratify_core.Scheduler.policy;
   bands : int;
   band_overlap : int option;
+  profile_phases : bool;
 }
 (** [jobs] is the worker-domain count handed to {!Stratify_exec.Exec} by
     the Monte-Carlo-heavy experiments (fig1, table1, fig6, fig9, scaling).
@@ -55,11 +56,19 @@ type context = {
     solved on the [jobs] domain pool, boundaries reconciled by the
     worklist fixup.  Results are identical for every band count —
     fig4 pins this with the [checksum.fig4_graph]/[checksum.fig4_clusters]
-    manifest counters. *)
+    manifest counters.
+
+    [profile_phases] (default false; requires [manifest_dir]) turns
+    {!Stratify_obs.Profile} on for the run: the instrumented kernels
+    ("greedy.build", "shard.cluster_cuts", "shard.band_solve",
+    "shard.stitch", "shard.fixup") record wall time, entry/op counts and
+    GC allocation deltas, written as the manifest's [profile] section.
+    Purely additive: the section is omitted when off, so default
+    manifests stay byte-identical. *)
 
 val default_context : context
 (** seed 42, scale 1.0, no CSV, [jobs = 1], no manifests, random-poll
-    scheduler, 1 band. *)
+    scheduler, 1 band, no phase profiling. *)
 
 val validate_context : context -> unit
 (** Raise a named [Invalid_argument] on out-of-range fields: scale

@@ -9,7 +9,7 @@
 val would_accept : Config.t -> int -> int -> bool
 (** [would_accept c p q]: would [p] welcome [q] as a new mate — free slot,
     or [q] better than [p]'s worst mate?  (Does not check acceptability or
-    current matedness.) *)
+    current matedness.)  One load of {!Config.raw_thresh}. *)
 
 val is_blocking : Config.t -> int -> int -> bool
 (** Full blocking-pair test for [{p, q}]. *)
@@ -18,9 +18,20 @@ val best_blocking_mate : Config.t -> int -> int option
 (** Best-ranked blocking mate of [p], if any — the target of a "best mate"
     initiative.  O(acceptance degree). *)
 
+val best_blocking_mate_int : Config.t -> int -> int
+(** Option-free {!best_blocking_mate}: the mate's rank, or [-1] when no
+    pair involving [p] blocks.  The steady-state convergence loop calls
+    this per attempt and allocates nothing. *)
+
 val blocking_mate_from : Config.t -> int -> start:int -> (int * int) option
 (** Circular scan of [p]'s acceptance list beginning at position [start]
     (for "decremental" initiatives).  Returns [(mate, next_start)]. *)
+
+val blocking_mate_cursor : Config.t -> int -> int array -> int
+(** Option-free {!blocking_mate_from} with the per-peer cursor state
+    threaded as an array: starts at [cursors.(p)], and only on a hit
+    stores the follow-up position back into [cursors.(p)] and returns
+    the mate's rank; [-1] (cursor untouched) when nothing blocks. *)
 
 val blocking_pairs : Config.t -> (int * int) list
 (** All blocking pairs, [p < q].  O(n · degree); intended for tests and

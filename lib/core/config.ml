@@ -4,14 +4,69 @@
    [min b(p) (acceptance degree of p)], so total storage is O(n·b̄) even
    on a complete acceptance graph.  [connect]/[disconnect] are O(b)
    in-place shifts — no list cells, no allocation on the dynamics' hot
-   path — and [degree]/[worst_mate]/[free_slots] are O(1) reads. *)
+   path — and [degree]/[worst_mate]/[free_slots] are O(1) reads.
+
+   Two derived structure-of-arrays views are maintained alongside the
+   segments (DESIGN.md §13):
+
+   - [thresh.(p)] encodes [Blocking.would_accept] as a single load:
+     [max_int] while p has a free slot, otherwise its worst mate's rank
+     ([-1] when full and unmated, i.e. b(p) = 0 — no rank label is
+     [< -1], so such a peer accepts nobody).  The invariant
+     "q < thresh.(p)  ⟺  p would accept q" holds for every q ≥ 0.
+
+   - [mask.(p)] is a word-packed 63-bit occupancy filter of the mate
+     set: bit [q mod 63] is set whenever q is a mate of p.  A clear bit
+     proves non-matedness with one load; a set bit falls back to the
+     exact segment scan.  The filter is sound for any budget, but only
+     selective when b̄ ≤ 63 (beyond that it saturates), so [use_mask]
+     defaults to [bmax ≤ 63] and the flat scan remains the reference
+     path — [set_use_mask] lets the equivalence tests force either. *)
 type t = {
   instance : Instance.t;
   off : int array;  (* n+1 segment offsets into [data] *)
   data : int array;
   deg : int array;  (* current mate count per peer *)
+  bs : int array;  (* slot budgets, shared with the instance *)
+  thresh : int array;  (* acceptance threshold; would_accept p q ⟺ q < thresh.(p) *)
+  mask : int array;  (* 63-bit mate filter over q mod 63 *)
+  tpow : int;  (* leaf count of [tmax]: smallest power of two ≥ max 1 n *)
+  tmax : int array;  (* max segment tree over [thresh]; leaves at tpow + q *)
+  mutable use_mask : bool;
   mutable edges : int;
 }
+
+let mask_bits = 63
+
+(* [tmax] turns the accepts-back sweep inside out: instead of probing
+   thresh.(q) one q at a time, "leftmost q in [lo, hi) with
+   thresh.(q) > p" descends the max tree in O(log n) — the
+   complete-backend [Blocking] scan drops from O(n) per peer to
+   O((b + 1) log n).  Leaves past n hold [min_int] (no rank label
+   exceeds it is ever sought), so padding can never be returned. *)
+
+let rec tree_up (tmax : int array) i =
+  if i >= 1 then begin
+    let l = Array.unsafe_get tmax (2 * i) and r = Array.unsafe_get tmax ((2 * i) + 1) in
+    let m = if l < r then r else l in
+    if m <> Array.unsafe_get tmax i then begin
+      Array.unsafe_set tmax i m;
+      tree_up tmax (i / 2)
+    end
+  end
+
+(* Leftmost q in [lo, hi) with thresh.(q) > p, else -1.  [node] covers
+   [nlo, nlo + size); subtrees whose max is ≤ p are pruned whole, so
+   the leftmost-descent visits O(log n) nodes.  Non-tail recursion
+   depth is log2 tpow ≤ 62; no allocation. *)
+let rec tree_first (tmax : int array) (p : int) lo hi node nlo size =
+  if nlo + size <= lo || nlo >= hi || Array.unsafe_get tmax node <= p then -1
+  else if size = 1 then nlo
+  else begin
+    let half = size lsr 1 in
+    let l = tree_first tmax p lo hi (2 * node) nlo half in
+    if l >= 0 then l else tree_first tmax p lo hi ((2 * node) + 1) (nlo + half) half
+  end
 
 let empty instance =
   let n = Instance.n instance in
@@ -28,11 +83,47 @@ let empty instance =
     in
     off.(p + 1) <- off.(p) + cap
   done;
-  { instance; off; data = Array.make off.(n) (-1); deg = Array.make n 0; edges = 0 }
+  let bs = Instance.raw_slots instance in
+  let thresh = Array.make (max 1 n) 0 in
+  let bmax = ref 0 in
+  for p = 0 to n - 1 do
+    let b = bs.(p) in
+    if b > !bmax then bmax := b;
+    (* deg = 0: a free slot iff b > 0; full-and-unmated (b = 0) accepts
+       nobody. *)
+    thresh.(p) <- (if b > 0 then max_int else -1)
+  done;
+  let tpow =
+    let m = ref 1 in
+    while !m < n do
+      m := !m * 2
+    done;
+    !m
+  in
+  let tmax = Array.make (2 * tpow) min_int in
+  for p = 0 to n - 1 do
+    tmax.(tpow + p) <- thresh.(p)
+  done;
+  for i = tpow - 1 downto 1 do
+    tmax.(i) <- max tmax.(2 * i) tmax.((2 * i) + 1)
+  done;
+  {
+    instance;
+    off;
+    data = Array.make off.(n) (-1);
+    deg = Array.make n 0;
+    bs;
+    thresh;
+    mask = Array.make (max 1 n) 0;
+    tpow;
+    tmax;
+    use_mask = !bmax <= mask_bits;
+    edges = 0;
+  }
 
 let instance t = t.instance
 let degree t p = t.deg.(p)
-let free_slots t p = Instance.slots t.instance p - t.deg.(p)
+let free_slots t p = t.bs.(p) - t.deg.(p)
 let is_full t p = free_slots t p <= 0
 let mate_at t p i = t.data.(t.off.(p) + i)
 
@@ -50,27 +141,75 @@ let iter_mates t p f =
 let best_mate t p = if t.deg.(p) = 0 then None else Some t.data.(t.off.(p))
 
 (* O(1): segments are sorted, so the worst mate is the last entry.
-   [Blocking.would_accept] calls this on every probe of the dynamics'
-   innermost loop.  [worst_rank] is the allocation-free variant ([-1]
-   when unmated) that the hot path uses instead of the option. *)
+   [Blocking.would_accept] is one load of the derived [thresh] array;
+   [worst_rank] is the allocation-free variant ([-1] when unmated) for
+   callers that need the rank even with a free slot open. *)
 let worst_rank t p =
   let d = t.deg.(p) in
   if d = 0 then -1 else t.data.(t.off.(p) + d - 1)
 
 let worst_mate t p = let w = worst_rank t p in if w < 0 then None else Some w
 
-(* Segments are increasing and short (≤ b), so an early-exit scan over
-   the flat array beats anything fancier; all comparisons are immediate
-   int compares. *)
-let mated t p q =
-  let base = t.off.(p) and d = t.deg.(p) in
-  let rec go i =
-    i < d
-    &&
-    let x = t.data.(base + i) in
-    if x >= q then x = q else go (i + 1)
+(* Re-derive [thresh.(p)] after any change to p's degree or worst mate,
+   and propagate into the max tree — [tree_up] stops at the first
+   ancestor whose max is unchanged, so most refreshes touch one or two
+   nodes.  Called from [insert]/[remove]. *)
+let[@inline always] refresh_thresh t p =
+  let d = Array.unsafe_get t.deg p in
+  let v =
+    if d < Array.unsafe_get t.bs p then max_int
+    else if d = 0 then -1
+    else Array.unsafe_get t.data (Array.unsafe_get t.off p + d - 1)
   in
-  go 0
+  if v <> Array.unsafe_get t.thresh p then begin
+    Array.unsafe_set t.thresh p v;
+    let leaf = t.tpow + p in
+    Array.unsafe_set t.tmax leaf v;
+    tree_up t.tmax (leaf / 2)
+  end
+
+(* Leftmost q in [lo, hi) that would accept p (thresh.(q) > p), or -1 —
+   the tree-backed form of the accepts-back sweep.  O(log n). *)
+let first_accepting t ~lo ~hi p =
+  if lo >= hi then -1 else tree_first t.tmax p lo hi 1 0 t.tpow
+
+(* Rebuild [mask.(p)] from the segment — removals can clear a bit only
+   if no remaining mate shares the residue, so the O(b) rebuild is the
+   simplest sound update. *)
+let[@inline always] refresh_mask t p =
+  let base = t.off.(p) and d = t.deg.(p) in
+  let m = ref 0 in
+  for i = 0 to d - 1 do
+    m := !m lor (1 lsl (Array.unsafe_get t.data (base + i) mod mask_bits))
+  done;
+  t.mask.(p) <- !m
+
+(* Exact membership: early-exit scan over the short, sorted, flat
+   segment; all comparisons are immediate int compares.  The scan is a
+   module-level function with explicit state — a local [let rec] would
+   box a closure per call, and membership sits on the dynamics' hot
+   path (every [is_blocking] probe that survives the mask). *)
+(* The [int array] annotation is load-bearing (as in [Blocking]'s
+   kernels): unannotated, the function generalizes and every compare
+   becomes a [caml_compare] C call. *)
+let rec seg_mem (data : int array) base d (q : int) i =
+  i < d
+  &&
+  let x = Array.unsafe_get data (base + i) in
+  if x >= q then x = q else seg_mem data base d q (i + 1)
+
+let mated_linear t p q = seg_mem t.data t.off.(p) t.deg.(p) q 0
+
+(* Filtered membership: a clear mask bit proves q unmated in one load;
+   a set bit defers to the exact scan.  With [use_mask] off this IS the
+   linear scan — the qcheck equivalence properties pin the two paths
+   against each other. *)
+let mated t p q =
+  if t.use_mask && t.mask.(p) land (1 lsl (q mod mask_bits)) = 0 then false
+  else mated_linear t p q
+
+let mask_enabled t = t.use_mask
+let set_use_mask t b = t.use_mask <- b
 
 (* Insert [q] into [p]'s sorted segment, shifting the tail right.  The
    caller guarantees a free slot, so [base + d] is within capacity.
@@ -85,21 +224,32 @@ let insert t p q =
     decr i
   done;
   t.data.(!i + 1) <- q;
-  t.deg.(p) <- d + 1
+  t.deg.(p) <- d + 1;
+  t.mask.(p) <- t.mask.(p) lor (1 lsl (q mod mask_bits));
+  refresh_thresh t p
 
 (* Remove [q] from [p]'s segment, shifting the tail left.  Returns
-   whether [q] was present. *)
+   whether [q] was present.  [seg_index] is static for the same reason
+   as [seg_mem]: [disconnect] runs once per churn event and twice per
+   displacement, and a per-call closure here showed up as 14 words per
+   drop in bench.profile's repair window. *)
+let rec seg_index (data : int array) base d (q : int) i =
+  if i >= d then -1
+  else if Array.unsafe_get data (base + i) = q then i
+  else seg_index data base d q (i + 1)
+
 let remove t p q =
   let base = t.off.(p) in
   let d = t.deg.(p) in
-  let rec find i = if i >= d then -1 else if t.data.(base + i) = q then i else find (i + 1) in
-  let i = find 0 in
+  let i = seg_index t.data base d q 0 in
   i >= 0
   && begin
        for j = base + i to base + d - 2 do
          t.data.(j) <- t.data.(j + 1)
        done;
        t.deg.(p) <- d - 1;
+       refresh_mask t p;
+       refresh_thresh t p;
        true
      end
 
@@ -119,13 +269,16 @@ let disconnect t p q =
   ignore (remove t q p);
   t.edges <- t.edges - 1
 
-let drop_worst t p =
+(* Sentinel variant of [drop_worst]: the dynamics' hot path uses this to
+   avoid boxing an option per performed initiative. *)
+let drop_worst_rank t p =
   let w = worst_rank t p in
-  if w < 0 then None
-  else begin
-    disconnect t p w;
-    Some w
-  end
+  if w >= 0 then disconnect t p w;
+  w
+
+let drop_worst t p =
+  let w = drop_worst_rank t p in
+  if w < 0 then None else Some w
 
 let edge_count t = t.edges
 
@@ -145,6 +298,12 @@ let copy t =
     off = t.off;  (* immutable after [empty] — safe to share *)
     data = Array.copy t.data;
     deg = Array.copy t.deg;
+    bs = t.bs;  (* shared with the instance, never mutated *)
+    thresh = Array.copy t.thresh;
+    tpow = t.tpow;
+    tmax = Array.copy t.tmax;
+    mask = Array.copy t.mask;
+    use_mask = t.use_mask;
     edges = t.edges;
   }
 
@@ -198,7 +357,8 @@ let to_adjacency t =
    relabelling is a constant shift, so the copy is a flat O(edges) blit:
    no per-pair acceptance checks, searches, or shifts, which is what lets
    the sharded matching stitch 10⁶-peer bands without redoing the
-   greedy's insertion work serially. *)
+   greedy's insertion work serially.  The derived thresh/mask entries are
+   rebuilt once per absorbed peer, after its whole segment lands. *)
 let absorb t local ~shift =
   let ln = Array.length local.deg in
   if shift < 0 || shift + ln > Array.length t.deg then
@@ -212,7 +372,9 @@ let absorb t local ~shift =
     for i = 0 to d - 1 do
       t.data.(base + i) <- shift + local.data.(lbase + i)
     done;
-    t.deg.(p) <- d
+    t.deg.(p) <- d;
+    refresh_mask t p;
+    refresh_thresh t p
   done;
   t.edges <- t.edges + local.edges
 
@@ -224,3 +386,5 @@ let of_pairs instance pairs =
 let raw_off t = t.off
 let raw_data t = t.data
 let raw_deg t = t.deg
+let raw_thresh t = t.thresh
+let raw_mask t = t.mask

@@ -47,9 +47,25 @@ val worst_rank : t -> int -> int
     boxing an option per probe. *)
 
 val mated : t -> int -> int -> bool
-(** Whether two peers are currently mates — an early-exit scan of the
-    (short, sorted, flat) mate segment; all comparisons are immediate
-    int compares. *)
+(** Whether two peers are currently mates.  When the word-packed mate
+    filter is enabled ({!mask_enabled}, the default for b̄ ≤ 63) a clear
+    bit of [raw_mask] answers "no" in one load; otherwise (and on a set
+    bit) an early-exit scan of the (short, sorted, flat) mate segment —
+    all comparisons are immediate int compares. *)
+
+val mated_linear : t -> int -> int -> bool
+(** The flat-array reference path of {!mated}, never consulting the mate
+    filter.  Same answer by construction; the equivalence tests pin the
+    two against each other. *)
+
+val mask_enabled : t -> bool
+(** Whether {!mated} consults the 63-bit mate filter first.  Chosen at
+    {!empty} time ([max b ≤ 63], where the filter is selective); the
+    filter itself is always maintained. *)
+
+val set_use_mask : t -> bool -> unit
+(** Force the filter path on or off — a test hook for the bitset ≡
+    flat-array equivalence properties; either setting is correct. *)
 
 val connect : t -> int -> int -> unit
 (** Add a collaboration.  Raises [Invalid_argument] if the pair is
@@ -61,6 +77,11 @@ val disconnect : t -> int -> int -> unit
 
 val drop_worst : t -> int -> int option
 (** Disconnect and return a peer's worst mate ([None] if unmated). *)
+
+val drop_worst_rank : t -> int -> int
+(** Allocation-free {!drop_worst}: the dropped mate's rank, or [-1] when
+    unmated (nothing dropped).  [Initiative.perform] uses this to keep
+    steady-state rewiring option-free. *)
 
 val edge_count : t -> int
 (** Number of collaborations. *)
@@ -112,3 +133,24 @@ val raw_off : t -> int array
 
 val raw_data : t -> int array
 val raw_deg : t -> int array
+
+val raw_thresh : t -> int array
+(** Per-peer acceptance threshold, maintained on every rewire:
+    [q < (raw_thresh t).(p)] ⟺ [Blocking.would_accept t p q] — [max_int]
+    while [p] has a free slot, its worst mate's rank when full, [-1]
+    when full and unmated ([b(p) = 0]).  Collapses the accepts-back
+    probe of the fused blocking kernels to a single load. *)
+
+val first_accepting : t -> lo:int -> hi:int -> int -> int
+(** [first_accepting t ~lo ~hi p] is the smallest [q] in [\[lo, hi)]
+    with [(raw_thresh t).(q) > p] — i.e. the best-ranked peer in the
+    range that would accept [p] — or [-1] when none exists.  O(log n)
+    via a max segment tree over [raw_thresh], maintained incrementally
+    on every rewire; allocation-free.  The complete-backend blocking
+    scan descends this tree instead of probing each rank in turn. *)
+
+val raw_mask : t -> int array
+(** Per-peer 63-bit mate filter: bit [q mod 63] is set whenever [q] is a
+    mate of [p].  A clear bit proves non-matedness; a set bit says
+    nothing (fall back to the segment scan).  Sound for every budget,
+    selective only when b̄ ≤ 63 — see {!mask_enabled}. *)

@@ -2,13 +2,54 @@
    best-ranked acceptable peers after it that still have capacity.  The
    result is the unique stable configuration of an acyclic instance. *)
 
+(* Reusable scratch buffers for the greedy scans.  A repeated solver
+   (churn repair, sharded band solves, benchmark loops) passes the same
+   arena to every call so the per-build [available]/[next] arrays are
+   allocated once and reused; the arrays grow monotonically and are
+   re-filled from scratch on each use, so a call with an arena is
+   bit-identical to one without.  An arena is single-threaded state:
+   share one per domain, never across domains. *)
+type arena = { mutable avail : int array; mutable next : int array }
+
+let create_arena () = { avail = [||]; next = [||] }
+
+let scratch_avail a len =
+  if Array.length a.avail < len then a.avail <- Array.make (max len 1) 0;
+  a.avail
+
+let scratch_next a len =
+  if Array.length a.next < len then a.next <- Array.make (max len 1) 0;
+  a.next
+
+(* [available.(i)] = remaining slot budget of peer [i]; fresh per call,
+   arena-backed when one is supplied (entries beyond [n] are ignored). *)
+let fill_avail arena inst n =
+  match arena with
+  | None -> Array.init n (Instance.slots inst)
+  | Some a ->
+      let v = scratch_avail a n in
+      for i = 0 to n - 1 do
+        v.(i) <- Instance.slots inst i
+      done;
+      v
+
+let fill_next arena n =
+  match arena with
+  | None -> Array.init (n + 1) (fun i -> i)
+  | Some a ->
+      let v = scratch_next a (n + 1) in
+      for i = 0 to n do
+        v.(i) <- i
+      done;
+      v
+
 (* Generic path: works on any backend through the O(1) indexed row
    access.  [first_index_above] skips the row prefix of peers ranked
    before [i], which the legacy code walked and discarded one by one. *)
-let stable_config_generic inst =
+let stable_config_generic ?arena inst =
   let n = Instance.n inst in
   let config = Config.empty inst in
-  let available = Array.init n (Instance.slots inst) in
+  let available = fill_avail arena inst n in
   for i = 0 to n - 1 do
     if available.(i) > 0 then begin
       let len = Instance.degree inst i in
@@ -35,11 +76,11 @@ let stable_config_generic inst =
    style).  O(n·b̄) total instead of O(n²) probes.  Connections are made
    in exactly the order the generic scan would make them, so the
    resulting configuration is identical. *)
-let stable_config_complete inst =
+let stable_config_complete ?arena inst =
   let n = Instance.n inst in
   let config = Config.empty inst in
-  let available = Array.init n (Instance.slots inst) in
-  let next = Array.init (n + 1) (fun i -> i) in
+  let available = fill_avail arena inst n in
+  let next = fill_next arena n in
   let rec find_next i =
     if i > n then n
     else if i = n || available.(i) > 0 then i
@@ -65,11 +106,16 @@ let stable_config_complete inst =
    incrementally instead of rebuilding per event. *)
 let c_builds = Stratify_obs.Counter.make "greedy.stable_config"
 
-let stable_config inst =
+let stable_config ?arena inst =
   Stratify_obs.Counter.incr c_builds;
-  match Instance.backend_kind inst with
-  | `Complete -> stable_config_complete inst
-  | `Dense | `Complete_minus | `Dynamic -> stable_config_generic inst
+  let snap = Stratify_obs.Profile.start () in
+  let config =
+    match Instance.backend_kind inst with
+    | `Complete -> stable_config_complete ?arena inst
+    | `Dense | `Complete_minus | `Dynamic -> stable_config_generic ?arena inst
+  in
+  Stratify_obs.Profile.stop "greedy.build" ~ops:(Instance.n inst) snap;
+  config
 
 (* Standalone raw-array variant of the complete-graph case, kept as a
    reference implementation for tests and benchmarks. *)

@@ -6,8 +6,31 @@
     stable by immediate recurrence, and with a global ranking the result is
     the {e unique} stable configuration (Tan 1991). *)
 
-val stable_config : Instance.t -> Config.t
-(** O(Σ degree) over the acceptance lists. *)
+type arena
+(** Reusable scratch buffers for the greedy scans.  Passing the same
+    arena to repeated {!stable_config} calls (churn repair, sharded band
+    solves, benchmark loops) reuses the per-build working arrays instead
+    of reallocating them; the result is bit-identical to the arena-free
+    path.  Single-threaded: share one arena per domain, never across
+    domains. *)
+
+val create_arena : unit -> arena
+(** An empty arena; its buffers grow lazily to the largest instance
+    solved through it. *)
+
+val scratch_avail : arena -> int -> int array
+(** [scratch_avail a len] is a scratch array of length >= [len] with
+    unspecified contents, owned by [a] — callers fill what they read.
+    For solvers ({!Shard.cluster_cuts}) that share the arena's buffers
+    with their own fill discipline. *)
+
+val scratch_next : arena -> int -> int array
+(** Same contract as {!scratch_avail}, for the next-pointer buffer. *)
+
+val stable_config : ?arena:arena -> Instance.t -> Config.t
+(** O(Σ degree) over the acceptance lists.  When profiling is on
+    ({!Stratify_obs.Profile}), each build is recorded under the
+    "greedy.build" kernel with [n] ops. *)
 
 val stable_complete : b:int array -> int array array
 (** Fast path for a complete acceptance graph with identity ranking (§4's

@@ -18,48 +18,66 @@ type state = { cursor : int array }
 
 let create_state inst = { cursor = Array.make (Instance.n inst) 0 }
 
-let find_mate config state strategy rng p =
+(* Shared do-nothing rewire hook: callers without an [on_rewire] pass
+   this instead of wrapping a closure in [Some] per attempt — the
+   steady-state loop performs millions of attempts and must not box an
+   option (or a fresh closure) on each. *)
+let no_note (_ : int) = ()
+
+(* Option-free [find_mate]: the blocking mate's rank, or [-1].  The
+   three strategies' scans are already sentinel-based in [Blocking]. *)
+let find_mate_int config state strategy rng p =
   match strategy with
-  | Best_mate -> Blocking.best_blocking_mate config p
-  | Decremental -> (
-      match Blocking.blocking_mate_from config p ~start:state.cursor.(p) with
-      | None -> None
-      | Some (q, next) ->
-          state.cursor.(p) <- next;
-          Some q)
+  | Best_mate -> Blocking.best_blocking_mate_int config p
+  | Decremental -> Blocking.blocking_mate_cursor config p state.cursor
   | Random ->
       let inst = Config.instance config in
       let len = Instance.degree inst p in
-      if len = 0 then None
+      if len = 0 then -1
       else begin
         let q = Instance.acceptable_at inst p (Rng.int rng len) in
-        if Blocking.is_blocking config p q then Some q else None
+        if Blocking.is_blocking config p q then q else -1
       end
 
-let perform ?on_rewire config p q =
+let find_mate config state strategy rng p =
+  let q = find_mate_int config state strategy rng p in
+  if q < 0 then None else Some q
+
+(* Non-optional-hook form of [perform]: drops are sentinel ints, the
+   hook is always a function ([no_note] when absent), so an active
+   initiative rewires without allocating.  Counter values are identical
+   to the historical option-based form: rewires = 2 principals + one per
+   actually-dropped mate. *)
+let perform_hook config ~note p q =
   if not (Blocking.is_blocking config p q) then
     invalid_arg "Initiative.perform: pair does not block";
   let dropped_p =
-    if Config.free_slots config p <= 0 then Config.drop_worst config p else None
+    if Config.free_slots config p <= 0 then Config.drop_worst_rank config p else -1
   in
   let dropped_q =
-    if Config.free_slots config q <= 0 then Config.drop_worst config q else None
+    if Config.free_slots config q <= 0 then Config.drop_worst_rank config q else -1
   in
   Config.connect config p q;
   Obs.Counter.incr c_performed;
   Obs.Counter.add c_rewires
-    (2 + (if dropped_p <> None then 1 else 0) + if dropped_q <> None then 1 else 0);
-  match on_rewire with
-  | None -> ()
-  | Some note ->
-      (match dropped_p with Some w -> note w | None -> ());
-      (match dropped_q with Some w -> note w | None -> ());
-      note p;
-      note q
+    (2 + (if dropped_p >= 0 then 1 else 0) + if dropped_q >= 0 then 1 else 0);
+  if dropped_p >= 0 then note dropped_p;
+  if dropped_q >= 0 then note dropped_q;
+  note p;
+  note q
+
+let perform ?on_rewire config p q =
+  let note = match on_rewire with None -> no_note | Some f -> f in
+  perform_hook config ~note p q
+
+let attempt_hook config state strategy rng p ~note =
+  let q = find_mate_int config state strategy rng p in
+  q >= 0
+  && begin
+       perform_hook config ~note p q;
+       true
+     end
 
 let attempt ?on_rewire config state strategy rng p =
-  match find_mate config state strategy rng p with
-  | None -> false
-  | Some q ->
-      perform ?on_rewire config p q;
-      true
+  let note = match on_rewire with None -> no_note | Some f -> f in
+  attempt_hook config state strategy rng p ~note

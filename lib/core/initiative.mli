@@ -25,6 +25,11 @@ val find_mate : Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> i
     any, without modifying the configuration (advances decremental
     cursors). *)
 
+val find_mate_int : Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> int
+(** Option-free {!find_mate}: the mate's rank, or [-1].  The hot loop's
+    form — a failed scan (the steady-state common case) allocates
+    nothing. *)
+
 val perform : ?on_rewire:(int -> unit) -> Config.t -> int -> int -> unit
 (** Execute the pairing move of an active initiative: each side drops its
     worst mate if it has no free slot, then the two connect.  The pair must
@@ -41,3 +46,15 @@ val attempt :
   ?on_rewire:(int -> unit) -> Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> bool
 (** [find_mate] then [perform]; returns whether the initiative was
     active. *)
+
+val no_note : int -> unit
+(** The shared do-nothing rewire hook.  Callers on the steady-state path
+    pass this (or their own preallocated closure) to {!attempt_hook}
+    instead of wrapping an option per attempt. *)
+
+val attempt_hook :
+  Config.t -> state -> strategy -> Stratify_prng.Rng.t -> int -> note:(int -> unit) -> bool
+(** {!attempt} with a non-optional rewire hook: semantics and counter
+    effects are identical, but an attempt boxes neither the found mate
+    nor the hook — the allocation-free form [Scheduler.drain] and
+    [Sim] step on. *)

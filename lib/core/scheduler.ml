@@ -77,8 +77,11 @@ let lowest_bit_index w =
   if !w land 0x1 = 0 then incr i;
   !i
 
-let pop t =
-  if t.count = 0 then None
+(* Option-free pop: [-1] when the set is empty.  [pop] boxes the result
+   for option-shaped callers; the drain below and [Sim]'s worklist step
+   use this directly so a steady-state pop allocates nothing. *)
+let pop_int t =
+  if t.count = 0 then -1
   else begin
     (* count > 0 and the cursor invariant imply a set bit at >= cursor,
        so the scan stays in bounds. *)
@@ -95,8 +98,12 @@ let pop t =
     t.count <- t.count - 1;
     t.cursor <- p + 1;
     Obs.Counter.incr c_pops;
-    Some p
+    p
   end
+
+let pop t =
+  let p = pop_int t in
+  if p < 0 then None else Some p
 
 let clear t =
   Array.fill t.words 0 (Array.length t.words) 0;
@@ -122,21 +129,27 @@ let seed_all t =
    empty set certifies stability.  Termination is Theorem 1: every
    performed initiative is active, and active sequences are finite. *)
 let drain ?on_rewire t config state strategy rng =
-  let note p =
-    push t p;
-    match on_rewire with None -> () | Some f -> f p
+  (* One closure per drain call, shared by every pop — the per-initiative
+     path below is option-free and allocates nothing. *)
+  let note =
+    match on_rewire with
+    | None -> fun p -> push t p
+    | Some f ->
+        fun p ->
+          push t p;
+          f p
   in
   let actives = ref 0 and pops = ref 0 in
   let rec go () =
-    match pop t with
-    | None -> ()
-    | Some p ->
-        incr pops;
-        if Initiative.attempt ~on_rewire:note config state strategy rng p then begin
-          incr actives;
-          Obs.Counter.incr c_hits
-        end;
-        go ()
+    let p = pop_int t in
+    if p >= 0 then begin
+      incr pops;
+      if Initiative.attempt_hook config state strategy rng p ~note then begin
+        incr actives;
+        Obs.Counter.incr c_hits
+      end;
+      go ()
+    end
   in
   go ();
   (!actives, !pops)

@@ -50,6 +50,11 @@ val pop : t -> int option
     configuration is stable if the invariant was maintained).  Bumps
     "sched.pops". *)
 
+val pop_int : t -> int
+(** Option-free {!pop}: the popped peer, or [-1] on an empty set.  The
+    worklist dynamics use this so a steady-state pop allocates
+    nothing. *)
+
 val mem : t -> int -> bool
 val length : t -> int
 val is_empty : t -> bool

@@ -48,10 +48,25 @@ let band_ranges ~n ~bands ~overlap =
    back to nominal boundaries there.  Availability is clamped to the
    acceptance degree so removed ([Complete_minus]) peers are born
    saturated, mirroring the generic greedy's skip of their empty rows. *)
-let cluster_cuts inst =
+let cluster_cuts ?arena inst =
   let n = Instance.n inst in
-  let avail = Array.init n (fun p -> min (Instance.slots inst p) (Instance.degree inst p)) in
-  let next = Array.init (n + 1) (fun i -> i) in
+  let prof = Obs.Profile.start () in
+  let avail, next =
+    match arena with
+    | None ->
+        ( Array.init n (fun p -> min (Instance.slots inst p) (Instance.degree inst p)),
+          Array.init (n + 1) (fun i -> i) )
+    | Some a ->
+        let avail = Greedy.scratch_avail a n in
+        for p = 0 to n - 1 do
+          avail.(p) <- min (Instance.slots inst p) (Instance.degree inst p)
+        done;
+        let next = Greedy.scratch_next a (n + 1) in
+        for i = 0 to n do
+          next.(i) <- i
+        done;
+        (avail, next)
+  in
   let rec find_next i =
     if i > n then n
     else if i = n || avail.(i) > 0 then i
@@ -79,6 +94,7 @@ let cluster_cuts inst =
   (* prepended while scanning up → reversed; [n] is always a cut *)
   let out = Array.make (!ncuts + 1) n in
   List.iteri (fun i s -> out.(!ncuts - 1 - i) <- s) !cuts;
+  Obs.Profile.stop "shard.cluster_cuts" ~ops:n prof;
   out
 
 (* Snap each nominal boundary [i·n/bands] to the nearest cluster cut.
@@ -172,7 +188,7 @@ let band_instance inst ~lo ~hi =
       let adj = Array.init len (fun i -> filtered_row rows.(lo + i) row_len.(lo + i)) in
       Instance.of_adjacency ~adj ~b ()
 
-let stable_config ?(jobs = 1) ?(bands = 1) ?overlap inst =
+let stable_config ?(jobs = 1) ?(bands = 1) ?overlap ?arena inst =
   let n = Instance.n inst in
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Shard.stable_config: jobs must be >= 1 (got %d)" jobs);
@@ -182,7 +198,7 @@ let stable_config ?(jobs = 1) ?(bands = 1) ?overlap inst =
     | None -> default_overlap inst
   in
   check_bands "Shard.stable_config" ~n ~bands ~overlap;
-  if bands = 1 then Greedy.stable_config inst
+  if bands = 1 then Greedy.stable_config ?arena inst
   else begin
     (* The complete-family backends admit the O(n) renewal scan: snap
        band boundaries to true cluster cuts so each band's local greedy
@@ -199,19 +215,27 @@ let stable_config ?(jobs = 1) ?(bands = 1) ?overlap inst =
       | `Dense | `Dynamic -> false
     in
     let ranges =
-      if snapped then snap_ranges ~n ~bands (cluster_cuts inst)
+      if snapped then snap_ranges ~n ~bands (cluster_cuts ?arena inst)
       else band_ranges ~n ~bands ~overlap
     in
     let nbands = Array.length ranges in
     Obs.Counter.add c_bands nbands;
     (* Solve every (extended) band independently: Algorithm 1 on the
        band-local sub-instance.  Each kernel depends only on its band
-       index, so the fan-out is jobs-invariant by construction. *)
+       index, so the fan-out is jobs-invariant by construction.  The
+       caller's arena is single-threaded and must not cross into the
+       worker domains; each band builds with fresh scratch.  The
+       [Profile] rows ARE worker-domain safe (mutex-protected), and
+       every band solve records under "greedy.build" — the enclosing
+       "shard.band_solve" row measures the whole fan-out from the
+       coordinator. *)
+    let solve = Obs.Profile.start () in
     let locals =
       Exec.map_indexed ~jobs ~count:nbands (fun i ->
           let { ext_lo; ext_hi; _ } = ranges.(i) in
           Greedy.stable_config (band_instance inst ~lo:ext_lo ~hi:ext_hi))
     in
+    Obs.Profile.stop "shard.band_solve" ~ops:nbands solve;
     let config = Config.empty inst in
     let sched = Scheduler.create ~n in
     (* Stitch, in band order, each band's pairs in ascending (p, q)
@@ -222,6 +246,7 @@ let stable_config ?(jobs = 1) ?(bands = 1) ?overlap inst =
        owner; the tolerant connect skips anything a previously stitched
        band made impossible and queues both endpoints for the fixup
        instead. *)
+    let stitch = Obs.Profile.start () in
     Array.iteri
       (fun i local ->
         let { core_lo; core_hi; ext_lo; _ } = ranges.(i) in
@@ -244,6 +269,7 @@ let stable_config ?(jobs = 1) ?(bands = 1) ?overlap inst =
               end)
             local)
       locals;
+    Obs.Profile.stop "shard.stitch" ~ops:nbands stitch;
     (* Seed the fixup worklist with every possible blocking-pair
        endpoint (see shard.mli for why this set is sufficient): the
        extension zone around each internal boundary, plus every peer
@@ -270,7 +296,9 @@ let stable_config ?(jobs = 1) ?(bands = 1) ?overlap inst =
        empty queue certifies stability (Scheduler invariant), and by
        Theorem 1's uniqueness the result equals the unsharded one. *)
     let state = Initiative.create_state inst in
+    let fixup = Obs.Profile.start () in
     let active, pops = Scheduler.drain sched config state Initiative.Best_mate (Rng.create 0) in
+    Obs.Profile.stop "shard.fixup" ~ops:pops fixup;
     Obs.Counter.add c_active active;
     Obs.Counter.add c_pops pops;
     config

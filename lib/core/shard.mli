@@ -76,7 +76,7 @@ val band_ranges : n:int -> bands:int -> overlap:int -> band array
     [Invalid_argument] on [bands < 1], [bands > max 1 n] or
     [overlap < 0]. *)
 
-val cluster_cuts : Instance.t -> int array
+val cluster_cuts : ?arena:Greedy.arena -> Instance.t -> int array
 (** The ascending rank positions that no stable collaboration crosses
     (always including [0] and [n]): renewal points of Algorithm 1's
     scan, computed in O(n·b̄) integer work without building a
@@ -103,7 +103,8 @@ val band_instance : Instance.t -> lo:int -> hi:int -> Instance.t
     [`Complete] and [`Complete_minus] stay implicit (O(hi-lo) memory);
     [`Dense]/[`Dynamic] keep only intra-band acceptance edges. *)
 
-val stable_config : ?jobs:int -> ?bands:int -> ?overlap:int -> Instance.t -> Config.t
+val stable_config :
+  ?jobs:int -> ?bands:int -> ?overlap:int -> ?arena:Greedy.arena -> Instance.t -> Config.t
 (** The unique stable configuration, computed by band decomposition.
     [bands] defaults to 1 (plain {!Greedy.stable_config}, byte-identical
     to the unsharded path); [overlap] defaults to
@@ -114,6 +115,14 @@ val stable_config : ?jobs:int -> ?bands:int -> ?overlap:int -> Instance.t -> Con
     exists.  Raises [Invalid_argument] (with the offending value named)
     on [bands < 1], [bands > max 1 n], [overlap < 0] or [jobs < 1].
 
+    [arena] (single-threaded; never shared across domains) reuses the
+    scratch buffers of the serial paths — the band-1 greedy build and
+    the cut scan; band solves inside worker domains always use fresh
+    scratch.  The result is bit-identical with or without it.
+
     Observability (when {!Stratify_obs.Control} is on): "shard.bands",
     "shard.stitch_conflicts", "shard.fixup_seeded", "shard.fixup_active"
-    and "shard.fixup_pops" counters. *)
+    and "shard.fixup_pops" counters.  When {!Stratify_obs.Profile} is
+    on, the phases record as "shard.cluster_cuts", "shard.band_solve",
+    "shard.stitch" and "shard.fixup" kernels (band solves also fold into
+    "greedy.build" from their worker domains). *)

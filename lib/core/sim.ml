@@ -19,6 +19,12 @@ type t = {
   sched : Scheduler.t option;  (* [Some] iff the Worklist policy drives stepping *)
   mutable steps : int;
   mutable active : int;
+  (* The caller's rewire hook for the current step ([Initiative.no_note]
+     when absent) and the preallocated closure forwarded to
+     [Initiative.attempt_hook] — built once at [create] so a
+     steady-state step allocates neither a closure nor an option. *)
+  mutable extern_note : int -> unit;
+  mutable self_note : int -> unit;
 }
 
 let create ?start ?(strategy = Initiative.Best_mate) ?(scheduler = Scheduler.Random_poll)
@@ -34,16 +40,28 @@ let create ?start ?(strategy = Initiative.Best_mate) ?(scheduler = Scheduler.Ran
         Scheduler.seed_all s;
         Some s
   in
-  {
-    instance;
-    config;
-    state = Initiative.create_state instance;
-    strategy;
-    rng;
-    sched;
-    steps = 0;
-    active = 0;
-  }
+  let t =
+    {
+      instance;
+      config;
+      state = Initiative.create_state instance;
+      strategy;
+      rng;
+      sched;
+      steps = 0;
+      active = 0;
+      extern_note = Initiative.no_note;
+      self_note = Initiative.no_note;
+    }
+  in
+  (match sched with
+  | None -> t.self_note <- (fun q -> t.extern_note q)
+  | Some s ->
+      t.self_note <-
+        (fun q ->
+          Scheduler.push s q;
+          t.extern_note q));
+  t
 
 let config t = t.config
 let steps t = t.steps
@@ -55,30 +73,35 @@ let record t was_active =
   Obs.Counter.incr c_steps;
   if was_active then Obs.Counter.incr c_active
 
-(* One scheduling decision: [Some was_active] after an initiative
-   attempt, [None] when a Worklist queue is empty — which certifies
-   stability (see [Scheduler]), so no attempt is made or counted. *)
-let attempt_next t ~on_rewire =
+(* One scheduling decision, int-coded so the steady-state loop boxes no
+   option: [1] active, [0] inactive, [-1] when a Worklist queue is
+   empty — which certifies stability (see [Scheduler]), so no attempt is
+   made or counted.  [note] is the caller's rewire hook for this step
+   (pass [Initiative.no_note] for none); it is stored, not wrapped, so
+   the call allocates nothing. *)
+let attempt_next_code t ~note =
+  t.extern_note <- note;
   match t.sched with
   | None ->
       let p = Rng.int t.rng (Instance.n t.instance) in
-      let was_active = Initiative.attempt ?on_rewire t.config t.state t.strategy t.rng p in
+      let was_active =
+        Initiative.attempt_hook t.config t.state t.strategy t.rng p ~note:t.self_note
+      in
       record t was_active;
-      Some was_active
-  | Some s -> (
-      match Scheduler.pop s with
-      | None -> None
-      | Some p ->
-          let note q =
-            Scheduler.push s q;
-            match on_rewire with Some f -> f q | None -> ()
-          in
-          let was_active = Initiative.attempt ~on_rewire:note t.config t.state t.strategy t.rng p in
-          if was_active then Scheduler.note_hit ();
-          record t was_active;
-          Some was_active)
+      if was_active then 1 else 0
+  | Some s ->
+      let p = Scheduler.pop_int s in
+      if p < 0 then -1
+      else begin
+        let was_active =
+          Initiative.attempt_hook t.config t.state t.strategy t.rng p ~note:t.self_note
+        in
+        if was_active then Scheduler.note_hit ();
+        record t was_active;
+        if was_active then 1 else 0
+      end
 
-let step t = match attempt_next t ~on_rewire:None with Some b -> b | None -> false
+let step t = attempt_next_code t ~note:Initiative.no_note = 1
 
 let run_units t units =
   let n = Instance.n t.instance in
@@ -145,18 +168,18 @@ let run_until_stable t ~stable ~max_units =
   let limit = max_units * n in
   let start_steps = t.steps in
   let tr = Divergence.create t.config stable in
-  let on_rewire = Some (fun p -> Divergence.touch tr t.config p) in
+  (* One closure for the whole run — each step stores it, never re-wraps. *)
+  let note p = Divergence.touch tr t.config p in
   let rec go () =
     if Divergence.maybe_equal tr t.config then Some (t.steps - start_steps)
     else if t.steps - start_steps >= limit then None
+    else if attempt_next_code t ~note >= 0 then go ()
     else
-      match attempt_next t ~on_rewire with
-      | Some _ -> go ()
-      | None ->
-          (* Worklist drained: the configuration is stable.  It equals
-             [stable] iff the caller's target really is the (unique)
-             stable configuration — re-check rather than assume. *)
-          if Divergence.maybe_equal tr t.config then Some (t.steps - start_steps) else None
+      (* Worklist drained: the configuration is stable.  It equals
+         [stable] iff the caller's target really is the (unique)
+         stable configuration — re-check rather than assume. *)
+      if Divergence.maybe_equal tr t.config then Some (t.steps - start_steps)
+      else None
   in
   go ()
 
@@ -164,14 +187,13 @@ let count_active_to_stability ?scheduler instance ~strategy rng ~max_steps =
   let t = create ?scheduler ~strategy instance rng in
   let stable = Greedy.stable_config instance in
   let tr = Divergence.create t.config stable in
-  let on_rewire = Some (fun p -> Divergence.touch tr t.config p) in
+  let note p = Divergence.touch tr t.config p in
   let rec go () =
     if Divergence.maybe_equal tr t.config then Some t.active
     else if t.steps >= max_steps then None
-    else
-      match attempt_next t ~on_rewire with
-      | Some _ -> go ()
-      | None -> if Divergence.maybe_equal tr t.config then Some t.active else None
+    else if attempt_next_code t ~note >= 0 then go ()
+    else if Divergence.maybe_equal tr t.config then Some t.active
+    else None
   in
   go ()
 

@@ -721,6 +721,7 @@ let run_pure ?(kind = "matrix") ?git plan =
       counters = [];
       histograms = [];
       metrics;
+      profile = [];
     }
   in
   { plan; passed; checks; manifest }

@@ -13,6 +13,7 @@ type t = {
   counters : (string * int) list;
   histograms : (string * int array) list;
   metrics : (string * float) list;
+  profile : Profile.entry list;
 }
 
 let schema_version = 1
@@ -43,10 +44,15 @@ let capture ~kind ~name ~seed ~scale ~jobs ?(metrics = []) () =
     counters = Counter.dump ();
     histograms = Histogram.dump ();
     metrics;
+    (* Empty unless this run enabled [Profile] and kernels recorded rows
+       — and an empty list is omitted from the JSON, so non-profiled
+       manifests are byte-identical to the pre-profile schema. *)
+    profile = Profile.snapshot ();
   }
 
 let counter t name = List.assoc_opt name t.counters
 let metric t name = List.assoc_opt name t.metrics
+let profile_row t name = List.find_opt (fun (r : Profile.entry) -> r.kernel = name) t.profile
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding                                                      *)
@@ -54,7 +60,7 @@ let metric t name = List.assoc_opt name t.metrics
 let to_json t =
   let open Jsonx in
   Obj
-    [
+    ([
       ("schema_version", Int t.schema_version);
       ("kind", String t.kind);
       ("name", String t.name);
@@ -83,6 +89,29 @@ let to_json t =
              t.histograms) );
       ("metrics", Obj (List.map (fun (k, v) -> (k, Float v)) t.metrics));
     ]
+    @
+    (* Optional trailing section: absent when the run was not profiled,
+       so pre-profile manifests round-trip byte-identically. *)
+    (match t.profile with
+    | [] -> []
+    | rows ->
+        [
+          ( "profile",
+            List
+              (List.map
+                 (fun (r : Profile.entry) ->
+                   Obj
+                     [
+                       ("kernel", String r.kernel);
+                       ("wall_s", Float r.wall_s);
+                       ("count", Int r.count);
+                       ("ops", Int r.ops);
+                       ("minor_words", Float r.minor_words);
+                       ("major_words", Float r.major_words);
+                       ("promoted_words", Float r.promoted_words);
+                     ])
+                 rows) );
+        ]))
 
 let of_json j =
   let open Jsonx in
@@ -113,6 +142,22 @@ let of_json j =
         (fun (k, v) -> (k, Array.of_list (List.map get_int (get_list v))))
         (get_obj (member "histograms" j));
     metrics = List.map (fun (k, v) -> (k, get_float v)) (get_obj (member "metrics" j));
+    profile =
+      (match member "profile" j with
+      | Null -> [] (* pre-profile manifests have no such section *)
+      | p ->
+          List.map
+            (fun r : Profile.entry ->
+              {
+                kernel = get_string (member "kernel" r);
+                wall_s = get_float (member "wall_s" r);
+                count = get_int (member "count" r);
+                ops = get_int (member "ops" r);
+                minor_words = get_float (member "minor_words" r);
+                major_words = get_float (member "major_words" r);
+                promoted_words = get_float (member "promoted_words" r);
+              })
+            (get_list p));
   }
 
 let to_string t = Jsonx.to_string (to_json t) ^ "\n"

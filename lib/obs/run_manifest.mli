@@ -28,6 +28,11 @@ type t = {
   counters : (string * int) list;
   histograms : (string * int array) list;
   metrics : (string * float) list;
+  profile : Profile.entry list;
+      (** Per-kernel wall/GC rows (see {!Profile}); empty — and omitted
+          from the JSON, keeping non-profiled manifests byte-identical
+          to the pre-profile schema — unless the run enabled
+          profiling. *)
 }
 
 val schema_version : int
@@ -46,6 +51,9 @@ val capture :
 
 val counter : t -> string -> int option
 val metric : t -> string -> float option
+
+val profile_row : t -> string -> Profile.entry option
+(** The profile row for a kernel name, if the manifest has one. *)
 
 val to_json : t -> Jsonx.t
 val of_json : Jsonx.t -> t

@@ -14,7 +14,7 @@ let percentile rng ?(replicates = 1000) ?(confidence = 0.95) xs ~statistic =
         let resample = Array.init n (fun _ -> xs.(Rng.int rng n)) in
         statistic resample)
   in
-  Array.sort compare stats;
+  Array.sort Float.compare stats;
   let alpha = (1. -. confidence) /. 2. in
   let pick q =
     let pos = q *. float_of_int (replicates - 1) in

@@ -32,7 +32,7 @@ let area_between a b =
   let xs =
     Array.append (Array.map fst a.points) (Array.map fst b.points)
   in
-  Array.sort compare xs;
+  Array.sort Float.compare xs;
   if Array.length xs = 0 then 0.
   else begin
     let s = ref 0. in

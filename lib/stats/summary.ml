@@ -24,7 +24,7 @@ let quantile_sorted sorted q =
 
 let quantile xs q =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   quantile_sorted sorted q
 
 let of_array xs =
@@ -33,7 +33,7 @@ let of_array xs =
   let acc = Online.create () in
   Online.add_many acc xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   {
     count = n;
     mean = Online.mean acc;

@@ -335,6 +335,81 @@ let prop_blocking_fused_matches_reference =
       let inst = Helpers.random_instance rng ~n ~p ~bmax in
       configs_stay_equivalent rng [ inst ] ~ops:80)
 
+(* Bitset mate filter ≡ exact linear scan: the same op sequence driven
+   on two configs of the same instance, one keeping the 63-bit mate
+   mask, one forced onto the flat-array fallback — every observation
+   the kernels make (mated / would_accept / is_blocking /
+   best_blocking_mate) must agree, and both must match the executable
+   spec. *)
+let mask_paths_agree rng inst ~ops =
+  let n = Instance.n inst in
+  let masked = Config.empty inst in
+  let flat = Config.empty inst in
+  Config.set_use_mask flat false;
+  let cs = [ masked; flat ] in
+  let ok = ref true in
+  let check () =
+    if Config.signature masked <> Config.signature flat then ok := false;
+    for p = 0 to n - 1 do
+      let bm = Blocking.best_blocking_mate masked p in
+      if bm <> Blocking.best_blocking_mate flat p then ok := false;
+      if bm <> reference_best_blocking_mate masked p then ok := false;
+      (match bm with
+      | Some q -> if Blocking.best_blocking_mate_int masked p <> q then ok := false
+      | None -> if Blocking.best_blocking_mate_int masked p <> -1 then ok := false);
+      for q = 0 to n - 1 do
+        if Config.mated masked p q <> Config.mated flat p q then ok := false;
+        if Config.mated masked p q <> Config.mated_linear masked p q then ok := false;
+        if Blocking.would_accept masked p q <> Blocking.would_accept flat p q then ok := false;
+        if Blocking.is_blocking masked p q <> Blocking.is_blocking flat p q then ok := false
+      done
+    done
+  in
+  if not (Config.mask_enabled masked) || Config.mask_enabled flat then ok := false;
+  check ();
+  for _ = 1 to ops do
+    let p = Rng.int rng n in
+    (match Rng.int rng 3 with
+    | 0 ->
+        List.iter
+          (fun c ->
+            match Blocking.best_blocking_mate c p with
+            | None -> ()
+            | Some q ->
+                if Config.free_slots c p <= 0 then ignore (Config.drop_worst c p);
+                if Config.free_slots c q <= 0 then ignore (Config.drop_worst c q);
+                Config.connect c p q)
+          cs
+    | 1 -> List.iter (fun c -> ignore (Config.drop_worst c p)) cs
+    | _ ->
+        List.iter
+          (fun c -> if Config.degree c p > 0 then Config.disconnect c p (Config.mate_at c p 0))
+          cs);
+    check ()
+  done;
+  !ok
+
+let prop_mask_equiv_complete =
+  Helpers.qtest ~count:60 "bitset mate path = flat path (complete backend)" complete_params
+    (fun (seed, n, bmax) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      mask_paths_agree rng (Instance.complete ~n ~b ()) ~ops:60)
+
+let prop_mask_equiv_complete_minus =
+  Helpers.qtest ~count:60 "bitset mate path = flat path (complete-minus backend)" complete_params
+    (fun (seed, n, bmax) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      let removed = List.filter (fun _ -> Rng.int rng 4 = 0) (List.init n (fun p -> p)) in
+      mask_paths_agree rng (Instance.complete_minus ~n ~b ~removed ()) ~ops:60)
+
+let prop_mask_equiv_sparse =
+  Helpers.qtest ~count:80 "bitset mate path = flat path (sparse backend)"
+    Helpers.instance_params (fun (seed, n, p, bmax) ->
+      let rng = Rng.create seed in
+      mask_paths_agree rng (Helpers.random_instance rng ~n ~p ~bmax) ~ops:60)
+
 (* ------------------------------------------------------------------ *)
 (* Blocking                                                            *)
 
@@ -805,6 +880,9 @@ let suite =
     prop_complete_backend_equiv;
     prop_complete_minus_backend_equiv;
     prop_blocking_fused_matches_reference;
+    prop_mask_equiv_complete;
+    prop_mask_equiv_complete_minus;
+    prop_mask_equiv_sparse;
     Alcotest.test_case "stable partners array" `Quick test_greedy_partners_array;
     prop_greedy_stable;
     prop_greedy_unique_stable;

@@ -203,6 +203,18 @@ let test_manifest_roundtrip () =
       counters = [ ("initiative.performed", 278); ("sim.steps", 4200) ];
       histograms = [ ("exec.chunk_ns", [| 0; 0; 3; 1 |]) ];
       metrics = [ ("replicas_per_sec/2", 304.94) ];
+      profile =
+        [
+          {
+            Obs.Profile.kernel = "greedy.build";
+            wall_s = 0.5;
+            count = 2;
+            ops = 20000;
+            minor_words = 1234.;
+            major_words = 56.;
+            promoted_words = 7.;
+          };
+        ];
     }
   in
   let back = Obs.Run_manifest.of_string (Obs.Run_manifest.to_string m) in

@@ -186,6 +186,50 @@ let test_churn_repair_under_sharding () =
     [ 1; 2; 5 ]
 
 (* ------------------------------------------------------------------ *)
+(* Arena reuse: scratch buffers must never change a result             *)
+
+let prop_arena_reuse_identical =
+  (* One arena threaded through many differently-sized solves: the
+     scratch arrays carry stale contents from the previous instance, so
+     any dependence on initial buffer state would show up as a
+     signature mismatch against the fresh-allocation path. *)
+  let arena = Greedy.create_arena () in
+  Helpers.qtest ~count:100 "reused arena = fresh allocation (greedy + sharded)" shard_params
+    (fun (seed, n, bmax, bands, overlap) ->
+      let rng = Rng.create seed in
+      let b = Array.init n (fun _ -> Rng.int rng (bmax + 1)) in
+      let inst = Instance.complete ~n ~b () in
+      Config.signature (Greedy.stable_config ~arena inst)
+      = Config.signature (Greedy.stable_config inst)
+      && Config.signature (Shard.stable_config ~bands ~overlap ~arena inst)
+         = Config.signature (Shard.stable_config ~bands ~overlap inst)
+      && Shard.cluster_cuts ~arena inst = Shard.cluster_cuts inst)
+
+let test_churn_repair_arena_identical () =
+  (* The same arena re-solves the live world after every churn batch;
+     each solve must match the arena-free solve, for both the pure
+     greedy path (bands = 1) and the banded path. *)
+  let rng = Rng.create 91 in
+  let n = 36 and d = 5. and b = 2 in
+  let w = Churn.make_world rng ~n ~d ~b in
+  let p = d /. float_of_int (n - 1) in
+  let arena = Greedy.create_arena () in
+  for epoch = 1 to 5 do
+    for _ = 1 to 4 do
+      Churn.churn_event rng w ~p;
+      Churn.initiative_step rng w Initiative.Best_mate
+    done;
+    let inst = Churn.world_instance w in
+    List.iter
+      (fun bands ->
+        Alcotest.(check string)
+          (Printf.sprintf "epoch %d, %d bands: arena solve = fresh solve" epoch bands)
+          (Config.signature (Shard.stable_config ~bands ~overlap:2 inst))
+          (Config.signature (Shard.stable_config ~bands ~overlap:2 ~arena inst)))
+      [ 1; 3; 5 ]
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Config.absorb contract                                              *)
 
 let test_absorb_guards () =
@@ -210,5 +254,7 @@ let suite =
     prop_dense_band_invariance;
     Alcotest.test_case "default overlap" `Quick test_default_overlap_used;
     Alcotest.test_case "churn repair under sharding" `Quick test_churn_repair_under_sharding;
+    prop_arena_reuse_identical;
+    Alcotest.test_case "churn repair with reused arena" `Quick test_churn_repair_arena_identical;
     Alcotest.test_case "Config.absorb guards" `Quick test_absorb_guards;
   ]
