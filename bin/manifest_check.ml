@@ -61,7 +61,21 @@ let check_bench ~max_slowdown baseline candidate =
         | Some rate when rate *. max_slowdown < base_rate ->
             fail "metric %s: %.2f is over %.1fx slower than baseline %.2f" name rate max_slowdown
               base_rate
-        | Some rate -> ok "metric %s: %.2f vs baseline %.2f" name rate base_rate)
+        | Some rate -> ok "metric %s: %.2f vs baseline %.2f" name rate base_rate;
+      (* "speedup/..." metrics are dimensionless ratios of two rates
+         measured in the same run (e.g. calendar-queue events/sec over
+         binary-heap events/sec in bench.des), so machine noise largely
+         cancels and they get a much tighter band than raw rates: the
+         candidate may not fall below baseline/1.25.  Like rates, they
+         only ratchet up by regenerating the baseline. *)
+      let speedup_tolerance = 1.25 in
+      if String.length name >= 8 && String.sub name 0 8 = "speedup/" then
+        match M.metric candidate name with
+        | None -> fail "metric %s missing from candidate" name
+        | Some s when s *. speedup_tolerance < base_rate ->
+            fail "metric %s: %.2fx is below baseline %.2fx (tolerance /%.2f)" name s base_rate
+              speedup_tolerance
+        | Some s -> ok "metric %s: %.2fx vs baseline %.2fx" name s base_rate)
     baseline.M.metrics;
   (* Profile rows, when the baseline has them: per-kernel wall time per
      op may not regress past --max-slowdown, and a kernel the baseline

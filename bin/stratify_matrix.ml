@@ -2,8 +2,8 @@
 
    Usage:
      stratify_matrix [--seed N] [--filter SUB] [--shard K/M] [--jobs J]
-                     [--out DIR] [--summary FILE] [--baseline FILE]
-                     [--report FILE] [--write-baseline FILE]
+                     [--queue BACKEND] [--out DIR] [--summary FILE]
+                     [--baseline FILE] [--report FILE] [--write-baseline FILE]
      stratify_matrix --list [--seed N] [--filter SUB] [--shard K/M]
      stratify_matrix --merge OUT.json SHARD.json [SHARD.json ...]
                      [--baseline FILE] [--report FILE] [--write-baseline FILE]
@@ -21,9 +21,16 @@
    combines shard summaries (same matrix seed required) into one, for the
    CI aggregation step.
 
+   --queue selects the DES event-queue backend for every cell run
+   (heap | calendar | ladder).  Backends pop in the same total
+   (time, seq) order, so cell manifests are byte-identical across
+   backends — the CI spot check re-runs one shard per backend and
+   diffs the manifest trees.
+
    Exit status: 0 all selected cells passed and no baseline regression;
    1 otherwise; 2 usage error. *)
 
+module Engine = Stratify_des.Engine
 module Matrix = Stratify_net_plan.Matrix
 module Plan = Stratify_net_plan.Plan
 module Report = Stratify_cli.Matrix_report
@@ -33,8 +40,8 @@ module Exec = Stratify_exec.Exec
 let usage () =
   prerr_endline
     "usage: stratify_matrix [--seed N] [--filter SUB] [--shard K/M] [--jobs J]\n\
-    \                       [--out DIR] [--summary FILE] [--baseline FILE]\n\
-    \                       [--report FILE] [--write-baseline FILE]\n\
+    \                       [--queue BACKEND] [--out DIR] [--summary FILE]\n\
+    \                       [--baseline FILE] [--report FILE] [--write-baseline FILE]\n\
     \       stratify_matrix --list [--seed N] [--filter SUB] [--shard K/M]\n\
     \       stratify_matrix --merge OUT.json SHARD.json [SHARD.json ...] [flags]";
   exit 2
@@ -100,6 +107,15 @@ let parse_args () =
     | "--jobs" :: v :: rest ->
         o.jobs <- int_of_string v;
         go rest
+    | "--queue" :: v :: rest -> (
+        match Engine.backend_of_string v with
+        | Some b ->
+            Engine.set_default_backend b;
+            go rest
+        | None ->
+            Printf.eprintf "stratify_matrix: unknown queue backend %S (heap | calendar | ladder)\n"
+              v;
+            exit 2)
     | "--out" :: v :: rest ->
         o.out <- v;
         go rest

@@ -1,15 +1,19 @@
 (* Run declarative fault-injection scenarios (see lib/net/plan.mli).
 
    Usage:
-     stratify_plan [--out DIR] PLAN.plan [PLAN.plan ...]
+     stratify_plan [--out DIR] [--queue BACKEND] PLAN.plan [PLAN.plan ...]
 
    Each plan is executed, its assertion checks printed, and its run
    manifest written to DIR (default results/manifests/plans) as
    <name>-<seed>.json.  Exit status 0 iff every assertion of every plan
    held.  Manifests are deterministic: two same-seed invocations of the
    same binary produce byte-identical files, which the matrix-aggregate
-   CI job pins with a double-run diff. *)
+   CI job pins with a double-run diff.  --queue selects the DES
+   event-queue backend (heap | calendar | ladder); every backend pops in
+   the same total (time, seq) order, so manifests are byte-identical
+   across backends — CI spot-checks exactly that. *)
 
+module Engine = Stratify_des.Engine
 module Plan = Stratify_net_plan.Plan
 module Manifest = Stratify_obs.Run_manifest
 
@@ -24,6 +28,18 @@ let () =
     | "--out" :: [] ->
         prerr_endline "stratify_plan: --out needs a directory";
         exit 2
+    | "--queue" :: name :: rest -> (
+        match Engine.backend_of_string name with
+        | Some b ->
+            Engine.set_default_backend b;
+            parse rest
+        | None ->
+            Printf.eprintf "stratify_plan: unknown queue backend %S (heap | calendar | ladder)\n"
+              name;
+            exit 2)
+    | "--queue" :: [] ->
+        prerr_endline "stratify_plan: --queue needs a backend (heap | calendar | ladder)";
+        exit 2
     | p :: rest ->
         paths := p :: !paths;
         parse rest
@@ -31,7 +47,7 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let paths = List.rev !paths in
   if paths = [] then begin
-    prerr_endline "usage: stratify_plan [--out DIR] PLAN.plan [PLAN.plan ...]";
+    prerr_endline "usage: stratify_plan [--out DIR] [--queue BACKEND] PLAN.plan [PLAN.plan ...]";
     exit 2
   end;
   let failed = ref 0 in

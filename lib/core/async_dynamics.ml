@@ -110,11 +110,15 @@ let rec arm_clock t p =
         arm_clock t p
       end)
 
-let create ?net instance rng params =
+let create ?backend ?net instance rng params =
   if params.latency < 0. then invalid_arg "Async_dynamics: negative latency";
   if params.initiative_rate <= 0. then invalid_arg "Async_dynamics: rate must be positive";
   if params.loss < 0. || params.loss >= 1. then
     invalid_arg "Async_dynamics: loss must be in [0,1)";
+  (match (backend, net) with
+  | Some _, Some _ ->
+      invalid_arg "Async_dynamics: ?backend applies to the internally built net; pass one or the other"
+  | _ -> ());
   let net =
     match net with
     | Some n -> n
@@ -122,8 +126,10 @@ let create ?net instance rng params =
         (* Legacy fault model: constant latency, optional i.i.d. loss.
            [Iid 0.] and [Constant] draw nothing, so this network is
            draw-for-draw identical to the old direct-[Engine.schedule]
-           path and preserves goldens bit-for-bit. *)
-        Net.create rng
+           path and preserves goldens bit-for-bit.  The queue backend
+           changes pop mechanics only, never pop order, so it too is
+           draw-for-draw invisible (`--queue` invariance). *)
+        Net.create ~engine:(Engine.create ?backend ()) rng
           {
             latency = Net.Constant params.latency;
             loss = (if params.loss > 0. then Net.Iid params.loss else Net.No_loss);

@@ -1,0 +1,97 @@
+(* Binary min-heap over (time, seq) keys carrying int slot values — the
+   baseline event-queue backend of the engine (`--queue heap`).
+
+   Unlike {!Pqueue} this is a structure-of-arrays heap: keys live in a
+   float array and an int array, values are plain ints, so sifting is
+   pure scalar loads/stores/swaps and never allocates.  The key is read
+   from [times.(slot)] at [add] time (see the note in {!Binq} about why
+   the float is passed through an array rather than as an argument). *)
+
+type t = {
+  mutable kt : float array;  (* key: event time *)
+  mutable ks : int array;    (* key: insertion sequence, breaks time ties *)
+  mutable kv : int array;    (* value: engine slot index *)
+  mutable len : int;
+}
+
+let create () = { kt = [||]; ks = [||]; kv = [||]; len = 0 }
+let size t = t.len
+
+let grow t =
+  let cap = Array.length t.kv in
+  if t.len >= cap then begin
+    let cap' = max 16 (2 * cap) in
+    let kt = Array.make cap' 0. and ks = Array.make cap' 0 and kv = Array.make cap' 0 in
+    Array.blit t.kt 0 kt 0 t.len;
+    Array.blit t.ks 0 ks 0 t.len;
+    Array.blit t.kv 0 kv 0 t.len;
+    t.kt <- kt;
+    t.ks <- ks;
+    t.kv <- kv
+  end
+
+(* key at [i] orders strictly before key at [j] *)
+let[@inline] before t i j =
+  t.kt.(i) < t.kt.(j) || (t.kt.(i) = t.kt.(j) && t.ks.(i) < t.ks.(j))
+
+let[@inline] swap t i j =
+  let ft = t.kt.(i) in
+  t.kt.(i) <- t.kt.(j);
+  t.kt.(j) <- ft;
+  let s = t.ks.(i) in
+  t.ks.(i) <- t.ks.(j);
+  t.ks.(j) <- s;
+  let v = t.kv.(i) in
+  t.kv.(i) <- t.kv.(j);
+  t.kv.(j) <- v
+
+let add t times ~seq ~slot =
+  grow t;
+  let i = t.len in
+  t.kt.(i) <- times.(slot);
+  t.ks.(i) <- seq;
+  t.kv.(i) <- slot;
+  t.len <- t.len + 1;
+  let i = ref i in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t !i parent
+  do
+    let parent = (!i - 1) / 2 in
+    swap t !i parent;
+    i := parent
+  done
+
+let pop_min t ~max_time =
+  if t.len = 0 || t.kt.(0) > max_time then -1
+  else begin
+    let slot = t.kv.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.kt.(0) <- t.kt.(t.len);
+      t.ks.(0) <- t.ks.(t.len);
+      t.kv.(0) <- t.kv.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && before t l !smallest then smallest := l;
+        if r < t.len && before t r !smallest then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap t !i !smallest;
+          i := !smallest
+        end
+      done
+    end;
+    slot
+  end
+
+let clear t =
+  t.len <- 0;
+  t.kt <- [||];
+  t.ks <- [||];
+  t.kv <- [||]

@@ -1,4 +1,71 @@
-type t = { queue : (t -> unit) Pqueue.t; mutable clock : float }
+(* Discrete-event engine over pluggable queue backends.
+
+   Events live in a structure-of-arrays slot store threaded by a free
+   list: a float time, an int payload code, and (only for legacy
+   closure events) a callback.  The queue backends (Binq / Calq / Ladq)
+   order plain int slots by the total key (time, seq), so every backend
+   pops the identical sequence and `--queue` never changes results —
+   the same invariance discipline as `--jobs` and `--bands`.
+
+   The hot path is allocation-free in steady state: scheduling a packed
+   event writes scalars into recycled slot arrays and backend pools;
+   firing one reads them back and dispatches on the int code through
+   the installed handler.  Three non-flambda boxing traps shape the
+   code: freshly computed floats must not cross function boundaries
+   (backends read the event time from the shared [st] array instead of
+   a float argument), the clock lives in an all-float record (a mutable
+   float field in the main mixed record would box on every store), and
+   float comparisons stay on locally loaded values.
+
+   Closure events still allocate their closure (by nature) but release
+   it eagerly: the slot's [sf] cell is reset to a shared null function
+   the moment the event fires, so fired callbacks never linger in the
+   pool — the same leak class fixed in [Pqueue.pop]. *)
+
+type backend = Heap | Calendar | Ladder
+
+let backends = [ Heap; Calendar; Ladder ]
+let backend_name = function Heap -> "heap" | Calendar -> "calendar" | Ladder -> "ladder"
+
+let backend_of_string = function
+  | "heap" -> Some Heap
+  | "calendar" -> Some Calendar
+  | "ladder" -> Some Ladder
+  | _ -> None
+
+(* The process-wide default, set once from `--queue` by the CLI drivers
+   so every engine created behind Net / Async_dynamics / Plan picks it
+   up without threading a parameter through each constructor. *)
+let default = Atomic.make Heap
+let set_default_backend b = Atomic.set default b
+let default_backend () = Atomic.get default
+
+type queue = Qh of Binq.t | Qc of Calq.t | Ql of Ladq.t
+
+(* All-float record: an unboxed mutable cell for the simulated clock. *)
+type clock = { mutable now_ : float }
+
+type t = {
+  queue : queue;
+  clock : clock;
+  (* slot store (structure of arrays) *)
+  mutable st : float array; (* slot -> event time *)
+  mutable sc : int array; (* slot -> packed code, -1 for closure events *)
+  mutable sf : (t -> unit) array; (* slot -> callback (null_fn when unused) *)
+  mutable sn : int array; (* free-list links *)
+  mutable free : int;
+  mutable next_seq : int;
+  mutable npending : int;
+  mutable packed : t -> int -> unit;
+  (* profile row names, precomputed so instrumentation never builds strings *)
+  drain_kernel : string;
+  run_kernel : string;
+}
+
+let null_fn : t -> unit = fun _ -> ()
+
+let no_packed_handler (_ : t) (_ : int) =
+  invalid_arg "Engine: packed event fired but no packed handler is installed"
 
 (* Bumped when a [drain] call gives up because its event budget ran out —
    the signal that an event loop fed itself forever.  Callers (e.g.
@@ -6,47 +73,164 @@ type t = { queue : (t -> unit) Pqueue.t; mutable clock : float }
    outcome; the counter makes it visible in run manifests too. *)
 let drain_budget_exhausted = Stratify_obs.Counter.make "des.drain_budget_exhausted"
 
-let create () = { queue = Pqueue.create (); clock = 0. }
-let now t = t.clock
+let create ?backend () =
+  let backend = match backend with Some b -> b | None -> Atomic.get default in
+  let queue =
+    match backend with
+    | Heap -> Qh (Binq.create ())
+    | Calendar -> Qc (Calq.create ())
+    | Ladder -> Ql (Ladq.create ())
+  in
+  let name = backend_name backend in
+  {
+    queue;
+    clock = { now_ = 0. };
+    st = [||];
+    sc = [||];
+    sf = [||];
+    sn = [||];
+    free = -1;
+    next_seq = 0;
+    npending = 0;
+    packed = no_packed_handler;
+    drain_kernel = "des.drain." ^ name;
+    run_kernel = "des.run_until." ^ name;
+  }
+
+let backend t = match t.queue with Qh _ -> Heap | Qc _ -> Calendar | Ql _ -> Ladder
+let now t = t.clock.now_
+let pending t = t.npending
+let set_packed_handler t f = t.packed <- f
+
+let grow_slots t =
+  let cap = Array.length t.sn in
+  let cap' = max 16 (2 * cap) in
+  let st = Array.make cap' 0.
+  and sc = Array.make cap' (-1)
+  and sf = Array.make cap' null_fn
+  and sn = Array.make cap' (-1) in
+  Array.blit t.st 0 st 0 cap;
+  Array.blit t.sc 0 sc 0 cap;
+  Array.blit t.sf 0 sf 0 cap;
+  Array.blit t.sn 0 sn 0 cap;
+  for i = cap to cap' - 2 do
+    sn.(i) <- i + 1
+  done;
+  sn.(cap' - 1) <- t.free;
+  t.free <- cap;
+  t.st <- st;
+  t.sc <- sc;
+  t.sf <- sf;
+  t.sn <- sn
+
+let[@inline] alloc_slot t =
+  if t.free = -1 then grow_slots t;
+  let s = t.free in
+  t.free <- t.sn.(s);
+  s
+
+let[@inline] enqueue t s =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.npending <- t.npending + 1;
+  match t.queue with
+  | Qh q -> Binq.add q t.st ~seq ~slot:s
+  | Qc q -> Calq.add q t.st ~seq ~slot:s
+  | Ql q -> Ladq.add q t.st ~seq ~slot:s
 
 let schedule_at t ~time f =
-  if time < t.clock then
+  if time < t.clock.now_ then
     invalid_arg
-      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time t.clock);
-  Pqueue.push t.queue ~priority:time f
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
+         t.clock.now_);
+  let s = alloc_slot t in
+  t.st.(s) <- time;
+  t.sc.(s) <- -1;
+  t.sf.(s) <- f;
+  enqueue t s
 
 let schedule t ~delay f =
   if delay < 0. then
     invalid_arg (Printf.sprintf "Engine.schedule: negative delay %g" delay);
-  schedule_at t ~time:(t.clock +. delay) f
+  let s = alloc_slot t in
+  t.st.(s) <- t.clock.now_ +. delay;
+  t.sc.(s) <- -1;
+  t.sf.(s) <- f;
+  enqueue t s
 
-let pending t = Pqueue.size t.queue
+let schedule_packed_at t ~time code =
+  if code < 0 then invalid_arg "Engine.schedule_packed_at: negative event code";
+  if time < t.clock.now_ then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
+         t.clock.now_);
+  let s = alloc_slot t in
+  t.st.(s) <- time;
+  t.sc.(s) <- code;
+  enqueue t s
+
+let schedule_packed t ~delay code =
+  if code < 0 then invalid_arg "Engine.schedule_packed: negative event code";
+  if delay < 0. then
+    invalid_arg (Printf.sprintf "Engine.schedule: negative delay %g" delay);
+  let s = alloc_slot t in
+  t.st.(s) <- t.clock.now_ +. delay;
+  t.sc.(s) <- code;
+  enqueue t s
+
+let[@inline] pop_due t max_time =
+  match t.queue with
+  | Qh q -> Binq.pop_min q ~max_time
+  | Qc q -> Calq.pop_min q ~max_time
+  | Ql q -> Ladq.pop_min q ~max_time
+
+(* Fire slot [s]: advance the clock, release the slot (the callback cell
+   is nulled so the pool never pins a fired closure), then dispatch. *)
+let fire t s =
+  let time = t.st.(s) in
+  if time > t.clock.now_ then t.clock.now_ <- time;
+  let code = t.sc.(s) in
+  let f = t.sf.(s) in
+  t.sf.(s) <- null_fn;
+  t.sn.(s) <- t.free;
+  t.free <- s;
+  t.npending <- t.npending - 1;
+  if code >= 0 then t.packed t code else f t
 
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- Float.max t.clock time;
-      f t;
-      true
+  let s = pop_due t infinity in
+  if s < 0 then false
+  else begin
+    fire t s;
+    true
+  end
 
 let run_until t ~time =
-  if time < t.clock then
+  if time < t.clock.now_ then
     invalid_arg
-      (Printf.sprintf "Engine.run_until: time %g is in the past (now %g)" time t.clock);
+      (Printf.sprintf "Engine.run_until: time %g is in the past (now %g)" time
+         t.clock.now_);
+  let snap = Stratify_obs.Profile.start () in
+  let fired = ref 0 in
   let continue = ref true in
   while !continue do
-    match Pqueue.peek t.queue with
-    | Some (next, _) when next <= time -> ignore (step t)
-    | _ -> continue := false
+    let s = pop_due t time in
+    if s < 0 then continue := false
+    else begin
+      fire t s;
+      incr fired
+    end
   done;
-  t.clock <- time
+  t.clock.now_ <- time;
+  Stratify_obs.Profile.stop t.run_kernel ~ops:!fired snap
 
 let drain ?(max_events = 10_000_000) t =
+  let snap = Stratify_obs.Profile.start () in
   let budget = ref max_events in
   while !budget > 0 && step t do
     decr budget
   done;
-  let drained = Pqueue.is_empty t.queue in
+  let drained = t.npending = 0 in
   if not drained then Stratify_obs.Counter.incr drain_budget_exhausted;
+  Stratify_obs.Profile.stop t.drain_kernel ~ops:(max_events - !budget) snap;
   drained

@@ -6,16 +6,25 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Shared tombstone written into vacated slots.  Slots at index >= len are
+   never read, so the bogus entry is only there to drop the reference the
+   slot would otherwise retain: without it, a popped entry (and its closure
+   payload, and everything the closure captures) stays reachable from the
+   backing array until a later push overwrites the slot.  The cast is safe
+   for the same reason Stdlib.Dynarray's dummy is: ['a entry] is a boxed
+   record (never a float array), and the value never escapes. *)
+let dummy : 'a entry = Obj.magic (Sys.opaque_identity (ref 0))
+
 let create () = { heap = [||]; len = 0; next_seq = 0 }
 let size t = t.len
 let is_empty t = t.len = 0
 
 let before a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let capacity = Array.length t.heap in
   if t.len >= capacity then begin
-    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    let fresh = Array.make (max 8 (2 * capacity)) dummy in
     Array.blit t.heap 0 fresh 0 t.len;
     t.heap <- fresh
   end
@@ -23,7 +32,7 @@ let grow t entry =
 let push t ~priority payload =
   let entry = { priority; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
+  grow t;
   t.heap.(t.len) <- entry;
   t.len <- t.len + 1;
   (* sift up *)
@@ -48,6 +57,10 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.heap.(0) <- t.heap.(t.len);
+      (* Clear the vacated slot: it aliases the entry just moved to the
+         root (or, for the last pop, the popped entry itself) and would
+         pin it — payload closure included — until overwritten. *)
+      t.heap.(t.len) <- dummy;
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
@@ -64,7 +77,8 @@ let pop t =
           i := !smallest
         end
       done
-    end;
+    end
+    else t.heap.(0) <- dummy;
     Some (top.priority, top.payload)
   end
 

@@ -13,8 +13,13 @@ val is_empty : 'a t -> bool
 val push : 'a t -> priority:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
-(** Lowest priority first; insertion order breaks ties. *)
+(** Lowest priority first; insertion order breaks ties.  The vacated heap
+    slot is cleared so the popped entry (and its payload, typically a
+    closure) becomes collectable immediately instead of being pinned by
+    the backing array until a later [push] happens to overwrite it. *)
 
 val peek : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
+(** Empties the queue and releases the backing array, so nothing popped
+    or pending is retained afterwards. *)

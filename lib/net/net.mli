@@ -94,6 +94,62 @@ val send : t -> src:int -> dst:int -> (Stratify_des.Engine.t -> unit) -> unit
 (** Route one message: apply the fault pipeline above, then (unless
     dropped) schedule the handler at delivery time. *)
 
+(** {2 Defunctionalized sends}
+
+    The high-throughput path for message-level workloads (tens of
+    millions of events): instead of a closure, a message is an int code
+    bit-packing [(kind, src, dst)], delivered through the engine's
+    packed-event handler ({!Stratify_des.Engine.set_packed_handler}).
+    Fault draws are {e burst-batched}: {!burst_begin} advances the
+    network's RNG once and derives a counter-mode base; every
+    {!send_packed} until the next [burst_begin] hashes
+    [(base, message index, draw lane)] for its loss / latency / reorder
+    / duplicate draws.  One RNG advance per burst, zero allocation per
+    message, and verdicts independent of send order within a burst —
+    the same discipline as {!Tick}.
+
+    Two deliberate semantic differences from {!send} (the packed path
+    is a separate traffic class, not a re-encoding of the closure
+    path): draws come from the counter-mode hash, so packed and closure
+    sends over the same network do not consume each other's RNG stream;
+    and a [Burst] (Gilbert–Elliott) loss model collapses to its
+    {!stationary_loss} rate — per-link chain state would reintroduce
+    per-message lookups and allocation. *)
+
+module Packed : sig
+  val kind_bits : int
+  (** 6: kinds 0..63. *)
+
+  val id_bits : int
+  (** 28: src/dst ids 0..268_435_455. *)
+
+  val pack : kind:int -> src:int -> dst:int -> int
+  (** Bit-pack without bounds checks (the hot path); out-of-range
+      arguments corrupt the code.  The packed value is non-negative as
+      {!Stratify_des.Engine.schedule_packed} requires. *)
+
+  val pack_checked : kind:int -> src:int -> dst:int -> int
+  (** Like {!pack} but raises [Invalid_argument] on out-of-range
+      fields. *)
+
+  val kind : int -> int
+
+  val src : int -> int
+
+  val dst : int -> int
+end
+
+val burst_begin : t -> unit
+(** Start a fault-draw burst: advance the RNG once and reset the
+    message index.  Call at the start of each tick (or other natural
+    burst) before a batch of {!send_packed} calls. *)
+
+val send_packed : t -> src:int -> dst:int -> kind:int -> unit
+(** Route one defunctionalized message: same fault pipeline and
+    counters as {!send} (with the packed-path differences above), then
+    schedule [Packed.pack ~kind ~src ~dst] at delivery time.
+    Allocation-free in steady state. *)
+
 (** {2 Telemetry} — plain fields, plus the ["net.*"] observability
     counters ([net.sent], [net.delivered], [net.lost],
     [net.partitioned], [net.duplicated], [net.reordered]) when

@@ -15,6 +15,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("applications", Test_applications.suite);
       ("async", Test_async.suite);
+      ("des", Test_des.suite);
       ("net", Test_net.suite);
       ("matrix", Test_matrix.suite);
       ("exec", Test_exec.suite);
