@@ -55,7 +55,16 @@
                          any backend disagrees on a delivery checksum,
                          if the cascade allocates on the minor heap in
                          steady state, or if the best non-heap backend
-                         is not >= 2x the binary heap on swarm-md). *)
+                         is not >= 2x the binary heap on swarm-md).
+     BENCH_SERVE_OUT=path where to write the service-layer run manifest
+                         (default BENCH_serve.json — also a checked-in
+                         baseline; replays a mixed tracker script once
+                         per queue backend, stop/resumes it across
+                         backends, and times the announce hot path.
+                         The bench hard-fails if any backend's response
+                         checksum or serve manifest differs, or if a
+                         snapshot/restore run diverges from the
+                         uninterrupted one). *)
 
 open Bechamel
 
@@ -1749,6 +1758,234 @@ let bench_des () =
   Obs.Run_manifest.write_path out manifest;
   Printf.printf "  wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* Part 10: the service layer (lib/serve).
+
+   Three stages, mirroring bench_des's invariance-then-speed shape:
+   (a) a mixed tracker script — two swarms (one partitioned-and-healed
+       under loss, one in piece mode) over a churning population —
+       replayed once per queue backend.  The response checksum and the
+       entire kind:"serve" manifest must agree byte for byte (hard
+       failure): the end-to-end form of the (time, seq) invariance
+       bench_des pins at the engine layer.
+   (b) the same script stopped mid-run, snapshotted, restored on a
+       *different* backend and run out: the manifest must equal the
+       uninterrupted run's (hard failure) — the serve-suite CI
+       contract, checked from inside one process.
+   (c) the announce hot path: a larger population serving a sustained
+       announce stream against a live (ticking) world.  Reports
+       sustained announces/sec and the exact p50/p99 handling latency
+       from the full sorted per-request latency array — no histogram
+       bucketing, every sample kept. *)
+let bench_serve () =
+  print_endline "\n================ Service layer (replay equality + announce path) ================";
+  let module Obs = Stratify_obs in
+  let module Eng = Stratify_des.Engine in
+  let module Serve = Stratify_serve.Serve in
+  let module Req = Stratify_serve.Request in
+  let with_backend b f =
+    let saved = Eng.default_backend () in
+    Eng.set_default_backend b;
+    Fun.protect ~finally:(fun () -> Eng.set_default_backend saved) f
+  in
+  let name = Eng.backend_name in
+
+  (* (a) + (b): the mixed script. *)
+  let script =
+    let rng = Rng.create 0xbe5e in
+    let n = 300 in
+    let sids = [| "alpha"; "beta" |] in
+    let requests =
+      Array.init 160 (fun i ->
+          let at = 1.0 +. (float_of_int i *. 0.21) in
+          let peer = Rng.int rng n in
+          let swarm = sids.(Rng.int rng 2) in
+          let kind =
+            match Rng.int rng 10 with
+            | 0 -> Req.Join { peer; swarm }
+            | 1 -> Req.Leave { peer; swarm }
+            | 2 -> Req.Scrape { swarm }
+            | 3 -> Req.Stats
+            | _ -> Req.Announce { peer; swarm; want = 1 + Rng.int rng 8 }
+          in
+          { Req.at; kind })
+    in
+    Req.validate
+      {
+        Req.name = "bench-serve";
+        seed = 42;
+        world =
+          {
+            Req.n;
+            d = 8.0;
+            b = 2;
+            churn_rate = 0.3;
+            bands = 2;
+            swarms =
+              [
+                {
+                  Req.sid = "alpha";
+                  size = 90;
+                  d = 14.0;
+                  loss = 0.05;
+                  partitions =
+                    [
+                      { Req.at_tick = 12; groups = Req.Halves };
+                      { Req.at_tick = 24; groups = Req.Heal };
+                    ];
+                  piece = None;
+                };
+                {
+                  Req.sid = "beta";
+                  size = 48;
+                  d = 10.0;
+                  loss = 0.0;
+                  partitions = [];
+                  piece =
+                    Some { Req.pieces = 32; piece_size = 1.0; init_fraction = 0.0; seeds = 1 };
+                };
+              ];
+          };
+        requests;
+        horizon = 36.0;
+      }
+  in
+  let replay backend =
+    with_backend backend (fun () ->
+        let t = Serve.create script in
+        Serve.run_script t;
+        ( Serve.checksum t,
+          Serve.requests_handled t,
+          Obs.Run_manifest.to_string (Serve.manifest ~git:"bench" t) ))
+  in
+  let runs = List.map (fun b -> (b, replay b)) Eng.backends in
+  (match runs with
+  | [] -> ()
+  | (b0, (cs0, rq0, m0)) :: rest ->
+      List.iter
+        (fun (b, (cs, rq, m)) ->
+          if cs <> cs0 || rq <> rq0 then
+            failwith
+              (Printf.sprintf
+                 "bench.serve: %s checksum/requests (%d, %d) disagree with %s (%d, %d)" (name b)
+                 cs rq (name b0) cs0 rq0);
+          if not (String.equal m m0) then
+            failwith
+              (Printf.sprintf "bench.serve: %s serve manifest differs from %s" (name b) (name b0)))
+        rest);
+  List.iter
+    (fun (b, (cs, rq, _)) ->
+      Printf.printf "  replay %-8s checksum %d  (%d requests handled)\n%!" (name b) cs rq)
+    runs;
+  let script_cs, script_requests, uninterrupted = List.assoc Eng.Heap runs in
+
+  (* (b) stop at t=17 on the heap, restore on the ladder, run out. *)
+  let snap =
+    with_backend Eng.Heap (fun () ->
+        let t = Serve.create script in
+        Serve.run_to t 17.0;
+        Serve.snapshot_string t)
+  in
+  let resumed =
+    with_backend Eng.Ladder (fun () ->
+        let t = Serve.restore_string snap in
+        Serve.run_script t;
+        Obs.Run_manifest.to_string (Serve.manifest ~git:"bench" t))
+  in
+  if not (String.equal resumed uninterrupted) then
+    failwith
+      "bench.serve: stop-at-17 / resume (heap -> ladder) manifest differs from the uninterrupted \
+       run";
+  Printf.printf "  stop/resume heap->ladder: manifest identical (%d bytes, snapshot %d bytes)\n%!"
+    (String.length resumed) (String.length snap);
+
+  (* (c) announce hot path: cycle announces over a 600-slot swarm in a
+     2000-peer population, ticking the world every 2000 requests so the
+     stream is served against live swarm/choker dynamics, not a frozen
+     snapshot.  Per-request latency is kept exactly. *)
+  let hot_script =
+    Req.validate
+      {
+        Req.name = "bench-serve-hot";
+        seed = 42;
+        world =
+          {
+            Req.n = 2000;
+            d = 8.0;
+            b = 2;
+            churn_rate = 0.0;
+            bands = 2;
+            swarms =
+              [
+                {
+                  Req.sid = "hot";
+                  size = 600;
+                  d = 16.0;
+                  loss = 0.0;
+                  partitions = [];
+                  piece = None;
+                };
+              ];
+          };
+        requests = [||];
+        horizon = 1000.0;
+      }
+  in
+  let announces = 20_000 in
+  let lat = Array.make announces 0. in
+  let announce_rate, hot_cs =
+    with_backend Eng.Heap (fun () ->
+        let t = Serve.create hot_script in
+        (* warm-up: build the world and let the first ticks settle *)
+        Serve.run_to t 2.0;
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to announces - 1 do
+          let peer = i mod 600 in
+          let a = Unix.gettimeofday () in
+          ignore (Serve.handle t (Req.Announce { peer; swarm = "hot"; want = 8 }));
+          let b = Unix.gettimeofday () in
+          lat.(i) <- (b -. a) *. 1e9;
+          if i mod 2000 = 1999 then Serve.run_to t (Serve.now t +. 1.0)
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        (float_of_int announces /. dt, Serve.checksum t))
+  in
+  Array.sort compare lat;
+  let pct p =
+    lat.(max 0 (min (announces - 1) (int_of_float (ceil (p *. float_of_int announces)) - 1)))
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  Printf.printf "  announce hot path: %9.0f announces/s   p50 %7.0f ns   p99 %8.0f ns\n%!"
+    announce_rate p50 p99;
+
+  Obs.Counter.reset_all ();
+  Obs.Histogram.reset_all ();
+  Obs.Span.reset ();
+  Obs.Control.set_enabled true;
+  Obs.Counter.add (Obs.Counter.make "checksum.serve_script") script_cs;
+  Obs.Counter.add (Obs.Counter.make "checksum.serve_script_requests") script_requests;
+  Obs.Counter.add (Obs.Counter.make "checksum.serve_stop_resume_ok") 1;
+  Obs.Counter.add (Obs.Counter.make "checksum.serve_hot") hot_cs;
+  Obs.Control.set_enabled false;
+  let manifest =
+    Obs.Run_manifest.capture ~kind:"bench" ~name:"bench_serve" ~seed:42 ~scale:1.0 ~jobs:1
+      ~metrics:
+        [
+          ("rate/serve_announce", announce_rate);
+          ("serve/p50_announce_ns", p50);
+          ("serve/p99_announce_ns", p99);
+          ("serve/announce_count", float_of_int announces);
+        ]
+      ()
+  in
+  let out =
+    match Sys.getenv_opt "BENCH_SERVE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_serve.json"
+  in
+  Obs.Run_manifest.write_path out manifest;
+  Printf.printf "  wrote %s\n" out
+
 let parts =
   [
     ("parallel", bench_parallel_scaling);
@@ -1759,6 +1996,7 @@ let parts =
     ("shard", bench_shard);
     ("matrix", bench_matrix);
     ("des", bench_des);
+    ("serve", bench_serve);
     ("stability", bench_stability_detection);
   ]
 

@@ -5,6 +5,7 @@
    Usage:
      manifest_check bench  BASELINE.json CANDIDATE.json [--max-slowdown 2.0]
      manifest_check golden GOLDEN.json   CANDIDATE.json [--counters k1,k2,...]
+     manifest_check serve  REFERENCE.json CANDIDATE.json
      manifest_check matrix SUMMARY.json  [--cells N]
 
    `bench` enforces the perf/correctness contract: every "checksum"
@@ -17,6 +18,13 @@
    all counters recorded in the golden manifest) must match exactly, as
    must name, seed and scale.  Timings are ignored — they are the
    machine's business, not the algorithm's.
+
+   `serve` enforces the service layer's replay contract: both manifests
+   must be kind:"serve" (written by `stratify_serve` / `Serve.manifest`,
+   pure functions of the request script), and they must agree exactly —
+   name, seed, scale, every counter (including the response checksum)
+   in both directions, and every metric bit for bit.  This is what the
+   serve-suite CI job runs on its double-run and stop/resume pairs.
 
    `matrix` validates an aggregated matrix-summary.json: the schema must
    parse, the recorded cardinality must equal the generator's compiled-in
@@ -123,6 +131,43 @@ let check_golden ~counters golden candidate =
       | None, _ -> fail "counter %s missing from golden" key)
     keys
 
+(* Two serve manifests of the same script must be indistinguishable: the
+   layer's whole claim is that a run is a pure function of its script,
+   so replay divergence anywhere — a counter present on one side only,
+   a metric off in the last bit — is a determinism bug, never noise. *)
+let check_serve reference candidate =
+  if reference.M.kind <> "serve" then
+    fail "reference kind %S, expected \"serve\"" reference.M.kind;
+  if candidate.M.kind <> "serve" then fail "candidate kind %S, expected \"serve\"" candidate.M.kind;
+  if reference.M.name <> candidate.M.name then
+    fail "script name: reference %s, candidate %s" reference.M.name candidate.M.name;
+  if reference.M.seed <> candidate.M.seed then
+    fail "seed: reference %d, candidate %d" reference.M.seed candidate.M.seed;
+  if reference.M.scale <> candidate.M.scale then
+    fail "scale: reference %g, candidate %g" reference.M.scale candidate.M.scale;
+  List.iter
+    (fun (key, r) ->
+      match M.counter candidate key with
+      | Some c when c = r -> ok "counter %s = %d" key r
+      | Some c -> fail "counter %s: reference %d, candidate %d" key r c
+      | None -> fail "counter %s missing from candidate" key)
+    reference.M.counters;
+  List.iter
+    (fun (key, _) ->
+      if M.counter reference key = None then fail "counter %s missing from reference" key)
+    candidate.M.counters;
+  List.iter
+    (fun (key, r) ->
+      match M.metric candidate key with
+      | Some c when Int64.bits_of_float c = Int64.bits_of_float r -> ok "metric %s = %g" key r
+      | Some c -> fail "metric %s: reference %g, candidate %g" key r c
+      | None -> fail "metric %s missing from candidate" key)
+    reference.M.metrics;
+  List.iter
+    (fun (key, _) ->
+      if M.metric reference key = None then fail "metric %s missing from reference" key)
+    candidate.M.metrics
+
 module Matrix = Stratify_net_plan.Matrix
 module Report = Stratify_cli.Matrix_report
 
@@ -159,6 +204,7 @@ let usage () =
   prerr_endline
     "usage: manifest_check bench BASELINE CANDIDATE [--max-slowdown X]\n\
     \       manifest_check golden GOLDEN CANDIDATE [--counters k1,k2,...]\n\
+    \       manifest_check serve REFERENCE CANDIDATE\n\
     \       manifest_check matrix SUMMARY [--cells N]";
   exit 2
 
@@ -209,6 +255,7 @@ let () =
                 Option.map (String.split_on_char ',') (opt "--counters" rest)
               in
               check_golden ~counters baseline candidate
+          | "serve" -> check_serve baseline candidate
           | _ -> usage ());
           if !failures > 0 then begin
             Printf.printf "%d check(s) failed\n" !failures;

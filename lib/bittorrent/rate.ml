@@ -27,3 +27,13 @@ let rate t ~tick =
   !acc /. float_of_int t.window
 
 let total t = t.total
+let window t = t.window
+let dump t = (Array.copy t.buckets, Array.copy t.stamps, t.total)
+
+let restore ~window ~buckets ~stamps ~total =
+  if window <= 0 then invalid_arg "Rate.restore: window must be positive";
+  if Array.length buckets <> window || Array.length stamps <> window then
+    invalid_arg
+      (Printf.sprintf "Rate.restore: need %d buckets and stamps, got %d and %d" window
+         (Array.length buckets) (Array.length stamps));
+  { window; buckets = Array.copy buckets; stamps = Array.copy stamps; total }

@@ -19,3 +19,14 @@ val rate : t -> tick:int -> float
 
 val total : t -> float
 (** All data ever recorded. *)
+
+val window : t -> int
+
+val dump : t -> float array * int array * float
+(** [(buckets, stamps, total)] — fresh copies of the circular per-tick
+    buckets, their tick stamps, and the lifetime total: the serializable
+    form used by deterministic snapshot/restore. *)
+
+val restore : window:int -> buckets:float array -> stamps:int array -> total:float -> t
+(** Rebuild an estimator from {!dump} output.  Raises [Invalid_argument]
+    unless both arrays have exactly [window] entries. *)

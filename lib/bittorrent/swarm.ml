@@ -95,6 +95,42 @@ let create rng params =
 let size t = Array.length t.peers
 let tick_count t = t.tick
 let peer t i = t.peers.(i)
+let rng t = t.rng
+
+(* Snapshot/restore hooks (lib/serve).  A swarm is restored by replaying
+   [create] from the creation-time RNG state (regenerating the knowledge
+   graph and initial fields draw-for-draw), then overwriting the mutable
+   state through these narrow setters — the availability counts stay
+   consistent because [set_held_pieces] goes through the same
+   on_remove/on_add bookkeeping as the simulation itself. *)
+
+let set_tick t tick =
+  if tick < 0 then invalid_arg (Printf.sprintf "Swarm.set_tick: negative tick %d" tick);
+  t.tick <- tick
+
+let set_held_pieces t i pieces =
+  match (t.peers.(i).Peer.field, t.availability) with
+  | Some field, Some counts ->
+      Piece.iter_held field (fun piece -> Piece.Availability.on_remove counts piece);
+      Piece.clear field;
+      List.iter
+        (fun piece -> if Piece.add field piece then Piece.Availability.on_add counts piece)
+        pieces
+  | _ ->
+      if pieces <> [] then
+        invalid_arg "Swarm.set_held_pieces: swarm runs in bandwidth-only mode"
+
+let iter_link_progress t f =
+  Hashtbl.iter (fun (s, r) v -> f s r !v) t.link_progress
+
+let set_link_progress t ~sender ~receiver amount =
+  if amount < 0. then
+    invalid_arg (Printf.sprintf "Swarm.set_link_progress: negative progress %g" amount);
+  match Hashtbl.find_opt t.link_progress (sender, receiver) with
+  | Some r -> r := amount
+  | None -> Hashtbl.replace t.link_progress (sender, receiver) (ref amount)
+
+let clear_link_progress t = Hashtbl.reset t.link_progress
 
 let interested t q p =
   match (t.peers.(q).Peer.field, t.peers.(p).Peer.field, t.availability) with

@@ -82,6 +82,28 @@ val interested : t -> int -> int -> bool
     bandwidth-only mode; in piece mode, true iff [p] holds a piece [q]
     lacks. *)
 
+val rng : t -> Stratify_prng.Rng.t
+(** The swarm's private random source — exposed so snapshot/restore can
+    capture and re-seed its state ({!Stratify_prng.Rng.state}). *)
+
+val set_tick : t -> int -> unit
+(** Overwrite the tick counter (snapshot/restore; [tick >= 0]). *)
+
+val set_held_pieces : t -> int -> int list -> unit
+(** Overwrite a peer's bitfield to exactly the given pieces, keeping the
+    global availability counts in sync (each change goes through the
+    same on_remove/on_add bookkeeping as the simulation).  Raises
+    [Invalid_argument] when given pieces in bandwidth-only mode. *)
+
+val iter_link_progress : t -> (int -> int -> float -> unit) -> unit
+(** Visit every (sender, receiver, partial-piece progress) entry, in
+    hash-table order — sort before serializing. *)
+
+val set_link_progress : t -> sender:int -> receiver:int -> float -> unit
+(** Set one link's partial-piece progress ([>= 0]). *)
+
+val clear_link_progress : t -> unit
+
 val set_on_transfer : t -> (int -> int -> float -> unit) -> unit
 (** Observation hook fired on every applied transfer, after download-cap
     scaling: [f sender receiver amount].  Defaults to a no-op (plain

@@ -1,5 +1,6 @@
 module Rng = Stratify_prng.Rng
 module Gen = Stratify_graph.Gen
+module Undirected = Stratify_graph.Undirected
 module Series = Stratify_stats.Series
 
 type params = {
@@ -48,7 +49,7 @@ type world = {
   repair_rng : Rng.t;  (* never drawn from: best-mate repair is RNG-free *)
 }
 
-let make_world ?(scheduler = Scheduler.Random_poll) rng ~n ~d ~b =
+let make_world ?(scheduler = Scheduler.Random_poll) ?(bands = 1) rng ~n ~d ~b =
   let graph = Gen.gnd rng ~n ~d in
   let instance = Instance.dynamic ~graph ~b:(Array.make n b) () in
   let sched = Scheduler.create ~n in
@@ -62,10 +63,45 @@ let make_world ?(scheduler = Scheduler.Random_poll) rng ~n ~d ~b =
     budgets = Array.make n b;
     instance;
     config = Config.empty instance;
-    stable = Greedy.stable_config instance;
+    stable =
+      (* Theorem 1's uniqueness makes the sharded and unsharded solves
+         bit-identical; bands > 1 only changes how the initial
+         from-scratch solve is decomposed (Shard, DESIGN.md §11). *)
+      (if bands > 1 then Shard.stable_config ~bands instance else Greedy.stable_config instance);
     state = Initiative.create_state instance;
     policy = scheduler;
     sched;
+    repair = Scheduler.create ~n;
+    repair_rng = Rng.create 0;
+  }
+
+(* Rebuild a world from serialized state (lib/serve snapshots): the
+   acceptance rows, the present mask and the two configurations fully
+   determine future behaviour — the schedulers are empty between events
+   (every event drains [repair] before returning), [state] only feeds
+   the decremental strategy (never used by best-mate repair), and
+   [repair_rng] is never drawn from. *)
+let restore_world ~n ~b ~present ~adjacency ~config_pairs ~stable_pairs =
+  if n < 1 then invalid_arg (Printf.sprintf "Churn.restore_world: n must be >= 1 (got %d)" n);
+  if Array.length present <> n then
+    invalid_arg
+      (Printf.sprintf "Churn.restore_world: |present| = %d, expected %d"
+         (Array.length present) n);
+  if Array.length adjacency <> n then
+    invalid_arg
+      (Printf.sprintf "Churn.restore_world: |adjacency| = %d, expected %d"
+         (Array.length adjacency) n);
+  let graph = Undirected.of_adjacency_arrays adjacency in
+  let instance = Instance.dynamic ~graph ~b:(Array.make n b) () in
+  {
+    present = Array.copy present;
+    budgets = Array.make n b;
+    instance;
+    config = Config.of_pairs instance config_pairs;
+    stable = Config.of_pairs instance stable_pairs;
+    state = Initiative.create_state instance;
+    policy = Scheduler.Random_poll;
+    sched = Scheduler.create ~n;
     repair = Scheduler.create ~n;
     repair_rng = Rng.create 0;
   }

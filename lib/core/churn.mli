@@ -65,6 +65,7 @@ type world
 
 val make_world :
   ?scheduler:Scheduler.policy ->
+  ?bands:int ->
   Stratify_prng.Rng.t ->
   n:int ->
   d:float ->
@@ -72,7 +73,26 @@ val make_world :
   world
 (** Fresh world over [G(n, d)] with constant budget [b], everyone
     present, the empty configuration and its stable target (the run's
-    single from-scratch [Greedy.stable_config] call). *)
+    single from-scratch solve).  [bands > 1] routes that solve through
+    {!Shard.stable_config} — bit-identical output by Theorem 1's
+    uniqueness, but decomposed for large populations. *)
+
+val restore_world :
+  n:int ->
+  b:int ->
+  present:bool array ->
+  adjacency:int array array ->
+  config_pairs:(int * int) list ->
+  stable_pairs:(int * int) list ->
+  world
+(** Rebuild a world from serialized state (the deterministic service
+    snapshots of [stratify.serve]): acceptance rows as sorted adjacency
+    arrays, the present mask, and the evolving/stable configurations as
+    pair lists.  Restored worlds always use [Random_poll]; the repair
+    machinery is reconstructed empty, which is exact because every event
+    drains it before returning.  Raises [Invalid_argument] on
+    mis-sized inputs, or (via {!Config.of_pairs}) on pairs that violate
+    acceptability or budgets. *)
 
 val remove_peer : world -> int -> unit
 (** Departure: isolate the peer in the live instance, drop its

@@ -46,7 +46,10 @@ type queue = Qh of Binq.t | Qc of Calq.t | Ql of Ladq.t
 type clock = { mutable now_ : float }
 
 type t = {
-  queue : queue;
+  mutable queue : queue;
+      (* replaced wholesale by [dump_packed]: a drained backend queue's
+         pop cursor sits past every pending time, so rebuilding must
+         start from a fresh queue *)
   clock : clock;
   (* slot store (structure of arrays) *)
   mutable st : float array; (* slot -> event time *)
@@ -162,7 +165,7 @@ let schedule_packed_at t ~time code =
   if code < 0 then invalid_arg "Engine.schedule_packed_at: negative event code";
   if time < t.clock.now_ then
     invalid_arg
-      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)" time
+      (Printf.sprintf "Engine.schedule_packed_at: time %g is in the past (now %g)" time
          t.clock.now_);
   let s = alloc_slot t in
   t.st.(s) <- time;
@@ -172,7 +175,7 @@ let schedule_packed_at t ~time code =
 let schedule_packed t ~delay code =
   if code < 0 then invalid_arg "Engine.schedule_packed: negative event code";
   if delay < 0. then
-    invalid_arg (Printf.sprintf "Engine.schedule: negative delay %g" delay);
+    invalid_arg (Printf.sprintf "Engine.schedule_packed: negative delay %g" delay);
   let s = alloc_slot t in
   t.st.(s) <- t.clock.now_ +. delay;
   t.sc.(s) <- code;
@@ -223,6 +226,66 @@ let run_until t ~time =
   done;
   t.clock.now_ <- time;
   Stratify_obs.Profile.stop t.run_kernel ~ops:!fired snap
+
+(* Snapshot support (lib/serve): the pending queue as pure data.
+
+   Popping every slot yields the canonical total (time, seq) order — the
+   one order every backend agrees on — so re-adding the entries in that
+   order (with fresh, increasing seqs) reconstructs an equivalent queue:
+   relative order among the dumped events is preserved, and events
+   scheduled later always get larger seqs in both the original and the
+   restored engine.  The dump is therefore non-destructive, and its
+   output is backend-independent. *)
+let dump_packed t =
+  let n = t.npending in
+  let times = Array.make n 0.
+  and codes = Array.make n (-1)
+  and fns = Array.make n null_fn in
+  for i = 0 to n - 1 do
+    let s = pop_due t infinity in
+    times.(i) <- t.st.(s);
+    codes.(i) <- t.sc.(s);
+    fns.(i) <- t.sf.(s);
+    t.sf.(s) <- null_fn;
+    t.sn.(s) <- t.free;
+    t.free <- s;
+    t.npending <- t.npending - 1
+  done;
+  (* Rebuild the queue before deciding whether to raise, so a failed dump
+     leaves the engine exactly as it found it.  The drained backend queue
+     is replaced with a fresh one first: draining moved its pop cursor
+     (calendar [g.last], ladder rung state) past the maximum pending
+     time, and re-inserting earlier events behind a committed cursor
+     breaks the backends' "inserts never predate the last removal"
+     invariant — events would sit unreachable until the clock caught up
+     with the cursor, silently reordering pops. *)
+  (match t.queue with
+  | Qh _ -> t.queue <- Qh (Binq.create ())
+  | Qc _ -> t.queue <- Qc (Calq.create ())
+  | Ql _ -> t.queue <- Ql (Ladq.create ()));
+  let closures = ref 0 in
+  for i = 0 to n - 1 do
+    if codes.(i) >= 0 then schedule_packed_at t ~time:times.(i) codes.(i)
+    else begin
+      incr closures;
+      schedule_at t ~time:times.(i) fns.(i)
+    end
+  done;
+  if !closures > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.dump_packed: queue holds %d closure event(s) — only packed (defunctionalized) \
+          events are serializable"
+         !closures);
+  Array.init n (fun i -> (times.(i), codes.(i)))
+
+let restore_packed ?backend ~now entries =
+  if now < 0. then
+    invalid_arg (Printf.sprintf "Engine.restore_packed: negative clock %g" now);
+  let t = create ?backend () in
+  t.clock.now_ <- now;
+  Array.iter (fun (time, code) -> schedule_packed_at t ~time code) entries;
+  t
 
 let drain ?(max_events = 10_000_000) t =
   let snap = Stratify_obs.Profile.start () in

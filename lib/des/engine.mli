@@ -82,6 +82,21 @@ val run_until : t -> time:float -> unit
 (** Process events with timestamp [≤ time], then advance the clock to
     [time]. *)
 
+val dump_packed : t -> (float * int) array
+(** The pending queue as pure data, in the canonical pop order (the total
+    (time, seq) order every backend agrees on) — the serializable form
+    used by deterministic snapshot/restore.  Non-destructive: the queue
+    is intact (and equivalent) afterwards.  Raises [Invalid_argument]
+    when a closure event is pending — only packed events are data. *)
+
+val restore_packed : ?backend:backend -> now:float -> (float * int) array -> t
+(** A fresh engine whose clock reads [now] and whose queue pops exactly
+    the given [(time, code)] entries in array order (entries must be in
+    canonical order, i.e. straight from {!dump_packed} — times before
+    [now] raise [Invalid_argument]).  Because the dump order is the
+    backend-invariant total order, a snapshot taken under one [backend]
+    restores bit-identically under any other. *)
+
 val drain : ?max_events:int -> t -> bool
 (** Process everything left (events may schedule more).  Returns [false]
     if the [max_events] budget (default 10⁷) ran out first — the runaway

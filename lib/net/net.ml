@@ -130,6 +130,19 @@ let engine t = t.engine
 let faults t = t.faults
 
 let set_partition_schedule t events =
+  (* Validate the whole schedule before touching the engine, with an
+     error naming the partition script rather than the engine internals
+     — a request script that schedules a split into the past should be
+     told so in its own vocabulary. *)
+  let now = Engine.now t.engine in
+  List.iter
+    (fun ev ->
+      if ev.at < now then
+        invalid_arg
+          (Printf.sprintf
+             "Net.set_partition_schedule: partition event at %g is in the past (engine now %g)"
+             ev.at now))
+    events;
   List.iter
     (fun ev -> Engine.schedule_at t.engine ~time:ev.at (fun _ -> t.groups <- ev.groups))
     events
@@ -339,6 +352,12 @@ module Tick = struct
   let create ~seed ~loss ?(schedule = []) () =
     if loss < 0. || loss >= 1. then
       invalid_arg (Printf.sprintf "Net.Tick.create: loss must be in [0, 1), got %g" loss);
+    List.iter
+      (fun ev ->
+        if ev.at_tick < 0 then
+          invalid_arg
+            (Printf.sprintf "Net.Tick.create: partition event at negative tick %d" ev.at_tick))
+      schedule;
     let pending = List.sort (fun a b -> compare a.at_tick b.at_tick) schedule in
     { base = Splitmix64.mix (Int64.of_int seed); loss; pending; groups = None; drops = 0 }
 
@@ -373,4 +392,36 @@ module Tick = struct
     ok
 
   let drops t = t.drops
+
+  (* Snapshot/restore (lib/serve): the whole fault state is already pure
+     data — the mixed seed base, the not-yet-applied partition events,
+     the currently installed groups and the drop tally. *)
+  type snapshot = {
+    snap_base : int64;
+    snap_loss : float;
+    snap_pending : event list;
+    snap_groups : int array option;
+    snap_drops : int;
+  }
+
+  let snapshot t =
+    {
+      snap_base = t.base;
+      snap_loss = t.loss;
+      snap_pending = t.pending;
+      snap_groups = Option.map Array.copy t.groups;
+      snap_drops = t.drops;
+    }
+
+  let restore s =
+    if s.snap_loss < 0. || s.snap_loss >= 1. then
+      invalid_arg
+        (Printf.sprintf "Net.Tick.restore: loss must be in [0, 1), got %g" s.snap_loss);
+    {
+      base = s.snap_base;
+      loss = s.snap_loss;
+      pending = List.sort (fun a b -> compare a.at_tick b.at_tick) s.snap_pending;
+      groups = Option.map Array.copy s.snap_groups;
+      drops = s.snap_drops;
+    }
 end

@@ -85,7 +85,10 @@ val faults : t -> faults
 
 val set_partition_schedule : t -> partition_event list -> unit
 (** Schedule split/heal events on the network's engine (events fire as
-    simulated time passes them).  Events must not be in the past. *)
+    simulated time passes them).  An event dated before the engine's
+    current clock raises [Invalid_argument] naming the offending
+    partition time — the whole schedule is validated before anything is
+    enqueued. *)
 
 val reachable : t -> src:int -> dst:int -> bool
 (** Whether a message sent now would cross the current partition. *)
@@ -183,7 +186,9 @@ module Tick : sig
   type t
 
   val create : seed:int -> loss:float -> ?schedule:event list -> unit -> t
-  (** [loss] is the per-link per-tick drop probability in [0, 1). *)
+  (** [loss] is the per-link per-tick drop probability in [0, 1).
+      Raises [Invalid_argument] on an out-of-range [loss] or a schedule
+      event at a negative tick, naming the offender. *)
 
   val advance : t -> tick:int -> unit
   (** Apply every scheduled partition event with [at_tick ≤ tick]; call
@@ -197,4 +202,22 @@ module Tick : sig
 
   val drops : t -> int
   (** Number of [passes] calls that returned [false]. *)
+
+  (** {2 Snapshot/restore} — the fault state as pure data, for the
+      deterministic service snapshots of [stratify.serve].  [passes] is
+      a stateless hash, so capturing [base], the unapplied schedule, the
+      installed groups and the drop tally reproduces the model's future
+      verdicts exactly. *)
+
+  type snapshot = {
+    snap_base : int64;
+    snap_loss : float;
+    snap_pending : event list;
+    snap_groups : int array option;
+    snap_drops : int;
+  }
+
+  val snapshot : t -> snapshot
+  val restore : snapshot -> t
+  (** Raises [Invalid_argument] on an out-of-range loss rate. *)
 end

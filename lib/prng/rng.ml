@@ -12,6 +12,9 @@ let split t =
   child
 
 let copy t = { gen = Xoshiro256.copy t.gen }
+let state t = Xoshiro256.state t.gen
+let of_state words = { gen = Xoshiro256.of_state words }
+let set_state t words = Xoshiro256.set_state t.gen words
 
 let int64 t = Xoshiro256.next t.gen
 

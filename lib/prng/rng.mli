@@ -20,6 +20,18 @@ val split : t -> t
 val copy : t -> t
 (** Clone replaying the same future stream (for A/B comparisons). *)
 
+val state : t -> int64 array
+(** The generator's four 64-bit state words — the serializable form used
+    by deterministic snapshot/restore.  [of_state (state t)] replays
+    exactly the stream [t] would have produced. *)
+
+val of_state : int64 array -> t
+(** Rebuild a source from {!state} output.  Raises [Invalid_argument]
+    unless given exactly four words not all zero. *)
+
+val set_state : t -> int64 array -> unit
+(** Overwrite the state in place (same validation as {!of_state}). *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

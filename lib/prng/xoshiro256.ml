@@ -28,6 +28,27 @@ let next t =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let check_state words =
+  if Array.length words <> 4 then
+    invalid_arg
+      (Printf.sprintf "Xoshiro256: state must have 4 words, got %d" (Array.length words));
+  if
+    Int64.logor (Int64.logor words.(0) words.(1)) (Int64.logor words.(2) words.(3)) = 0L
+  then invalid_arg "Xoshiro256: the all-zero state is invalid"
+
+let of_state words =
+  check_state words;
+  { s0 = words.(0); s1 = words.(1); s2 = words.(2); s3 = words.(3) }
+
+let set_state t words =
+  check_state words;
+  t.s0 <- words.(0);
+  t.s1 <- words.(1);
+  t.s2 <- words.(2);
+  t.s3 <- words.(3)
+
 let jump_table = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
 
 let jump t =

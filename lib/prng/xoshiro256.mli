@@ -17,6 +17,17 @@ val next : t -> int64
 val copy : t -> t
 (** Independent clone replaying the same future stream. *)
 
+val state : t -> int64 array
+(** The four 64-bit state words, as a fresh array — the serializable form
+    used by deterministic snapshot/restore ({!Stratify_serve}). *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state} output.  Raises [Invalid_argument]
+    unless given exactly four words not all zero. *)
+
+val set_state : t -> int64 array -> unit
+(** Overwrite the state in place (same validation as {!of_state}). *)
+
 val jump : t -> unit
 (** [jump t] advances [t] by [2^128] steps in place.  Successive jumps carve
     the period into non-overlapping substreams suitable for parallel or

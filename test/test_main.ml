@@ -21,4 +21,5 @@ let () =
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
       ("experiments", Test_experiments.suite);
+      ("serve", Test_serve.suite);
     ]
